@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Ablation: CN-side congestion/incast control (§4.4).
+ *
+ * Twelve clients on three CNs blast 1 KB reads at one MN (incast).
+ * With the delay-based cwnd + incast iwnd enabled, tail latency stays
+ * bounded; with both effectively disabled, the switch queue toward
+ * the CNs grows and the tail stretches. MNs hold no congestion state
+ * in either case — the control lives entirely at CNs.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "apps/runner.hh"
+#include "cluster/cluster.hh"
+#include "harness.hh"
+
+using namespace clio;
+
+namespace {
+
+struct Result
+{
+    double median_us;
+    double p99_us;
+    double p999_us;
+    double goodput_gbps;
+    double retries;
+};
+
+Result
+incast(bool control_enabled)
+{
+    auto cfg = ModelConfig::prototype();
+    // A realistic shallow-buffered switch without PFC: overflowing
+    // the output queue drops packets (the case the paper's CN-side
+    // control exists to avoid triggering).
+    cfg.net.lossless = false;
+    cfg.net.switch_queue_packets = 96;
+    if (!control_enabled) {
+        // Disable the knobs: unbounded windows, no decrease.
+        cfg.clib.cwnd_init = 4096;
+        cfg.clib.cwnd_max = 1e9;
+        cfg.clib.cwnd_mult_dec = 1.0;
+        cfg.clib.target_rtt = kTickMax / 2;
+        cfg.clib.iwnd_bytes = ~0ull >> 1;
+        cfg.clib.timeout = 2 * kMillisecond; // avoid retry storms
+        cfg.clib.max_retries = 64;
+    }
+    Cluster cluster(cfg, 3, 1);
+
+    struct Client
+    {
+        ClioClient *client;
+        VirtAddr addr;
+        std::vector<std::uint8_t> buf;
+        int remaining = 200;
+        Tick issued_at = 0;
+    };
+    auto hist = std::make_shared<LatencyHistogram>();
+    ClosedLoopRunner runner(cluster.eventQueue());
+    std::vector<std::unique_ptr<Client>> clients;
+    for (int c = 0; c < 12; c++) {
+        auto st = std::make_unique<Client>();
+        st->client = &cluster.createClient(
+            static_cast<std::uint32_t>(c % 3));
+        st->addr = st->client->ralloc(4 * MiB);
+        st->buf.resize(1024);
+        st->client->rwrite(st->addr, st->buf.data(), st->buf.size());
+        clients.push_back(std::move(st));
+    }
+    EventQueue &eq = cluster.eventQueue();
+    std::uint64_t bytes = 0;
+    for (auto &cp : clients) {
+        Client *c = cp.get();
+        runner.addActor([c, &eq, hist, &bytes]() -> ActorStep {
+            if (c->remaining-- <= 0)
+                return ActorStep::done();
+            bytes += 12 * 1024;
+            // Twelve async reads per step: aggressive offered load
+            // (12 clients x 12 responses converge on the CN links).
+            // Every request records its own end-to-end latency.
+            HandlePtr last;
+            for (int i = 0; i < 12; i++) {
+                const Tick t0 = eq.now();
+                last = c->client->rreadAsync(c->addr + i * 1024,
+                                             c->buf.data(), 1024);
+                if (i < 11) {
+                    last->on_done = [t0, hist, &eq] {
+                        hist->record(eq.now() - t0);
+                    };
+                }
+            }
+            c->issued_at = eq.now();
+            return ActorStep::wait(last);
+        });
+    }
+    const Tick elapsed = runner.run();
+    Result out;
+    out.median_us = ticksToUs(hist->median());
+    out.p99_us = ticksToUs(hist->p99());
+    out.p999_us = ticksToUs(hist->percentile(99.9));
+    out.goodput_gbps =
+        static_cast<double>(bytes) * 8 / ticksToSeconds(elapsed) / 1e9;
+    double retries = 0;
+    for (std::uint32_t i = 0; i < cluster.cnCount(); i++)
+        retries += static_cast<double>(cluster.cn(i).stats().retries);
+    out.retries = retries;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation", "Congestion + incast control under a "
+                              "12-client incast (batched 1 KB reads)");
+    bench::header({"control", "median(us)", "p99(us)", "p99.9(us)",
+                   "goodput(Gbps)", "retries"});
+    auto on = incast(true);
+    bench::row("enabled", {on.median_us, on.p99_us, on.p999_us,
+                           on.goodput_gbps, on.retries});
+    auto off = incast(false);
+    bench::row("disabled", {off.median_us, off.p99_us, off.p999_us,
+                            off.goodput_gbps, off.retries});
+    bench::note("expected: goodput ties (the link is the bottleneck "
+                "either way). With control the queueing moves to the "
+                "sender (low median, no loss, no retries); without it "
+                "a standing switch queue doubles the median and tail "
+                "drops surface as timeout-priced retries at p99.9 — "
+                "the behaviour the paper keeps off the MN by placing "
+                "all control state at CNs.");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: page-table overprovisioning factor (§4.2 chose 2x).
+ *
+ * More slots absorb hash skew (fewer allocation retries) but cost
+ * DRAM. This bench sweeps the factor and reports retries at 90%
+ * utilization for 1/10/100-page allocations plus the table's memory
+ * cost as a fraction of physical memory — the trade the paper
+ * settled at 2x.
+ */
+
+#include <string>
+
+#include "harness.hh"
+#include "pagetable/hash_page_table.hh"
+#include "valloc/va_allocator.hh"
+
+using namespace clio;
+
+namespace {
+
+constexpr std::uint64_t kPage = 4 * MiB;
+constexpr std::uint64_t kPhys = 2 * GiB;
+
+double
+retriesAt90(double factor, std::uint64_t alloc_pages)
+{
+    HashPageTable pt(kPhys, kPage, 8, factor);
+    VaAllocator va(kPage, 1ull << 40);
+    const std::uint64_t fill =
+        static_cast<std::uint64_t>(0.9 * (kPhys / kPage));
+    for (std::uint64_t i = 0; i < fill; i++) {
+        auto res = va.allocate(1 + static_cast<ProcId>(i % 4), kPage,
+                               kPermReadWrite, pt, 200000);
+        if (!res)
+            return -1;
+        for (auto vpn : res->vpns)
+            pt.insert(1 + static_cast<ProcId>(i % 4), vpn,
+                      kPermReadWrite);
+    }
+    double total = 0;
+    const int probes = 25;
+    for (int i = 0; i < probes; i++) {
+        auto res = va.allocate(9, alloc_pages * kPage, kPermReadWrite,
+                               pt, 200000);
+        if (!res)
+            return -1;
+        for (auto vpn : res->vpns)
+            pt.insert(9, vpn, kPermReadWrite);
+        total += res->retries;
+        auto freed = va.free(9, res->addr);
+        for (auto vpn : freed->vpns)
+            pt.remove(9, vpn);
+    }
+    return total / probes;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation", "Page-table overprovisioning: retries at "
+                              "90% utilization vs table cost");
+    bench::header({"factor", "1 page", "10 pages", "100 pages",
+                   "table(%phys)"});
+    for (double factor : {1.1, 1.25, 1.5, 2.0, 3.0, 4.0}) {
+        HashPageTable pt(kPhys, kPage, 8, factor);
+        bench::row(std::to_string(factor).substr(0, 4),
+                   {retriesAt90(factor, 1), retriesAt90(factor, 10),
+                    retriesAt90(factor, 100),
+                    100.0 * static_cast<double>(pt.tableBytes()) /
+                        static_cast<double>(kPhys)});
+    }
+    bench::note("expected: retries collapse as the factor grows while "
+                "table cost stays well below 1% of physical memory; "
+                "2x (the paper's default) is already in the flat "
+                "region for small allocations.");
+    return 0;
+}

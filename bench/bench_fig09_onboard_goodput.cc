@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fig. 9: On-board goodput vs request size.
+ *
+ * An FPGA-side traffic generator drives the fast path directly
+ * (bypassing the 10 Gbps port), measuring the pipeline's intrinsic
+ * throughput: >110 Gbps for large requests; reads below writes at
+ * small sizes because of the non-pipelined DMA IP's setup cost.
+ */
+
+#include <cstring>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "harness.hh"
+
+using namespace clio;
+
+namespace {
+
+double
+onboardGbps(std::uint64_t req_bytes, bool is_write)
+{
+    auto cfg = ModelConfig::prototype();
+    Cluster cluster(cfg, 1, 1);
+    CBoard &mn = cluster.mn(0);
+    const ProcId pid = 0x42;
+
+    // Map a working buffer directly (traffic generator setup).
+    const std::uint64_t page = cfg.page_table.page_size;
+    for (std::uint64_t vpn = 1; vpn <= 16; vpn++) {
+        if (mn.pageTable().freeSlotsInBucket(pid, vpn) == 0)
+            continue;
+        mn.pageTable().insert(pid, vpn, kPermReadWrite);
+        mn.pageTable().bindFrame(pid, vpn, (vpn - 1) * page);
+    }
+
+    std::vector<std::uint8_t> payload(req_bytes, 0xCD);
+    RequestMsg req;
+    req.type = is_write ? MsgType::kWrite : MsgType::kRead;
+    req.pid = pid;
+    req.addr = page;
+    req.size = req_bytes;
+    if (is_write)
+        req.data = payload;
+
+    // Back-to-back requests at the pipeline head; the generator keeps
+    // the pipeline fed (ready = previous completion is NOT required —
+    // II=1 means a new request enters as soon as the pipeline accepts
+    // it, so feed with ready=0 and let occupancy modeling spread them).
+    const int kRequests = 3000;
+    Tick last_done = 0;
+    std::uint64_t served = 0;
+    for (int i = 0; i < kRequests; i++) {
+        ResponseMsg resp;
+        req.req_id = static_cast<ReqId>(i + 1);
+        req.orig_req_id = req.req_id;
+        req.addr = page + (static_cast<std::uint64_t>(i) * req_bytes) %
+                              (8 * page);
+        const Tick done = mn.serviceFastPath(req, 0, resp);
+        if (resp.status != Status::kOk)
+            return -1;
+        last_done = done;
+        served += req_bytes;
+    }
+    return static_cast<double>(served) * 8.0 /
+           ticksToSeconds(last_done) / 1e9;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 9", "On-board goodput (Gbps) vs request size "
+                            "(FPGA traffic generator, no port cap)");
+    bench::header({"size(B)", "Read", "Write"});
+    for (std::uint64_t sz : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u,
+                             8192u}) {
+        bench::row(std::to_string(sz),
+                   {onboardGbps(sz, false), onboardGbps(sz, true)});
+    }
+    bench::note("expected shape: both exceed 110 Gbps at large sizes "
+                "(512-bit datapath at 250 MHz = 128 Gbps ceiling); "
+                "read < write at small sizes due to DMA setup cost "
+                "(paper Fig. 9).");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fig. 10: Read latency vs request size across six systems: Clio
+ * (full simulated stack), Clover, native RDMA, HERD, HERD on
+ * BlueField, and LegoOS.
+ */
+
+#include "baselines/rdma.hh"
+#include "baselines/systems.hh"
+#include "cluster/cluster.hh"
+#include "harness.hh"
+
+using namespace clio;
+
+namespace {
+
+double
+clioReadUs(std::uint64_t size)
+{
+    Cluster cluster(ModelConfig::prototype(), 1, 1);
+    ClioClient &client = cluster.createClient(0);
+    const VirtAddr addr = client.ralloc(8 * MiB);
+    std::vector<std::uint8_t> buf(size, 1);
+    client.rwrite(addr, buf.data(), size); // warm
+    LatencyHistogram hist;
+    for (int i = 0; i < 200; i++) {
+        const Tick t0 = cluster.eventQueue().now();
+        client.rread(addr, buf.data(), size);
+        hist.record(cluster.eventQueue().now() - t0);
+    }
+    return ticksToUs(hist.median());
+}
+
+double
+rdmaReadUs(std::uint64_t size)
+{
+    RdmaMemoryNode node(ModelConfig::prototype(), 1 * GiB, 41);
+    Tick lat = 0;
+    auto mr = node.registerMr(16 * MiB, false, lat);
+    QpId qp = node.createQp();
+    std::vector<std::uint8_t> buf(size);
+    LatencyHistogram hist;
+    for (int i = 0; i < 200; i++)
+        hist.record(node.read(qp, *mr, 0, buf.data(), size).latency);
+    return ticksToUs(hist.median());
+}
+
+template <typename F>
+double
+medianUs(F &&sample)
+{
+    LatencyHistogram hist;
+    for (int i = 0; i < 200; i++)
+        hist.record(sample());
+    return ticksToUs(hist.median());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 10", "Read latency (median us) vs request size");
+    const auto cfg = ModelConfig::prototype();
+    CloverModel clover(cfg);
+    HerdModel herd(cfg, false);
+    HerdModel herd_bf(cfg, true);
+    LegoOsModel lego(cfg);
+
+    bench::header({"size(B)", "Clio", "Clover", "RDMA", "HERD-BF",
+                   "HERD", "LegoOS"});
+    for (std::uint64_t sz : {4u, 16u, 64u, 256u, 1024u, 4096u}) {
+        bench::row(std::to_string(sz),
+                   {clioReadUs(sz), //
+                    medianUs([&] { return clover.readLatency(sz); }),
+                    rdmaReadUs(sz),
+                    medianUs([&] { return herd_bf.getLatency(sz); }),
+                    medianUs([&] { return herd.getLatency(sz); }),
+                    medianUs([&] { return lego.readLatency(sz); })});
+    }
+    bench::note("expected shape: Clio close to RDMA/HERD; HERD-BF "
+                "worst (chip crossing); LegoOS ~2x Clio at small "
+                "sizes (paper Fig. 10).");
+    return 0;
+}

@@ -1,0 +1,36 @@
+#include "harness.hh"
+
+#include <cstdio>
+
+namespace clio::bench {
+
+void
+banner(const std::string &fig, const std::string &caption)
+{
+    std::printf("\n=== %s: %s ===\n", fig.c_str(), caption.c_str());
+}
+
+void
+header(const std::vector<std::string> &cols)
+{
+    for (std::size_t i = 0; i < cols.size(); i++)
+        std::printf(i == 0 ? "%-18s" : "%14s", cols[i].c_str());
+    std::printf("\n");
+}
+
+void
+row(const std::string &label, const std::vector<double> &values)
+{
+    std::printf("%-18s", label.c_str());
+    for (double v : values)
+        std::printf("%14.3f", v);
+    std::printf("\n");
+}
+
+void
+note(const std::string &text)
+{
+    std::printf("  -- %s\n", text.c_str());
+}
+
+} // namespace clio::bench

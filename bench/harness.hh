@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmark binaries.
+ *
+ * Each bench_figNN binary regenerates one table/figure of the paper's
+ * evaluation (§7) and prints the same series the paper plots, in a
+ * simple aligned-column text format that EXPERIMENTS.md references.
+ */
+
+#ifndef CLIO_BENCH_HARNESS_HH
+#define CLIO_BENCH_HARNESS_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace clio::bench {
+
+/** Print the figure banner (figure id + caption). */
+void banner(const std::string &fig, const std::string &caption);
+
+/** Print a header row of right-aligned 14-char columns. */
+void header(const std::vector<std::string> &cols);
+
+/** Print a data row: first cell is the x value label, rest numeric. */
+void row(const std::string &label, const std::vector<double> &values);
+
+/** Print a closing note (e.g. paper-shape expectation). */
+void note(const std::string &text);
+
+} // namespace clio::bench
+
+#endif // CLIO_BENCH_HARNESS_HH

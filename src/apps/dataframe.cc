@@ -1,0 +1,257 @@
+#include "apps/dataframe.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace clio {
+
+namespace {
+
+/** Rows scanned per chunk by the offloads (bounded on-chip staging). */
+constexpr std::uint64_t kScanChunkRows = 8192;
+
+template <typename T>
+std::vector<std::uint8_t>
+encodeStruct(const T &args)
+{
+    std::vector<std::uint8_t> out(sizeof(T));
+    std::memcpy(out.data(), &args, sizeof(T));
+    return out;
+}
+
+template <typename T>
+bool
+decodeStruct(const std::vector<std::uint8_t> &arg, T &out)
+{
+    if (arg.size() != sizeof(T))
+        return false;
+    std::memcpy(&out, arg.data(), sizeof(T));
+    return true;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Offloads
+// ---------------------------------------------------------------------
+
+std::vector<std::uint8_t>
+SelectOffload::encode(const Args &args)
+{
+    return encodeStruct(args);
+}
+
+OffloadResult
+SelectOffload::invoke(OffloadVm &vm, const std::vector<std::uint8_t> &arg)
+{
+    OffloadResult res;
+    Args args;
+    if (!decodeStruct(arg, args)) {
+        res.status = Status::kOffloadError;
+        return res;
+    }
+    std::vector<std::uint8_t> a_chunk(kScanChunkRows);
+    std::vector<std::int64_t> b_chunk(kScanChunkRows);
+    std::vector<std::int64_t> out_chunk;
+    std::uint64_t selected = 0;
+    for (std::uint64_t row = 0; row < args.rows; row += kScanChunkRows) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(kScanChunkRows, args.rows - row);
+        if (!vm.read(args.col_a_addr + row, a_chunk.data(), n) ||
+            !vm.read(args.col_b_addr + row * 8, b_chunk.data(), n * 8)) {
+            res.status = Status::kBadAddress;
+            return res;
+        }
+        out_chunk.clear();
+        for (std::uint64_t i = 0; i < n; i++) {
+            if (a_chunk[i] == args.match)
+                out_chunk.push_back(b_chunk[i]);
+        }
+        if (!out_chunk.empty()) {
+            if (!vm.write(args.out_addr + selected * 8,
+                          out_chunk.data(), out_chunk.size() * 8)) {
+                res.status = Status::kBadAddress;
+                return res;
+            }
+            selected += out_chunk.size();
+        }
+        // Per-row predicate evaluation on the FPGA (slower per element
+        // than a CPU, §7.2).
+        vm.chargeCycles(n);
+    }
+    res.value = selected;
+    return res;
+}
+
+std::vector<std::uint8_t>
+AggregateOffload::encode(const Args &args)
+{
+    return encodeStruct(args);
+}
+
+OffloadResult
+AggregateOffload::invoke(OffloadVm &vm,
+                         const std::vector<std::uint8_t> &arg)
+{
+    OffloadResult res;
+    Args args;
+    if (!decodeStruct(arg, args)) {
+        res.status = Status::kOffloadError;
+        return res;
+    }
+    std::vector<std::int64_t> chunk(kScanChunkRows);
+    double sum = 0;
+    for (std::uint64_t i = 0; i < args.count; i += kScanChunkRows) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(kScanChunkRows, args.count - i);
+        if (!vm.read(args.values_addr + i * 8, chunk.data(), n * 8)) {
+            res.status = Status::kBadAddress;
+            return res;
+        }
+        for (std::uint64_t j = 0; j < n; j++)
+            sum += static_cast<double>(chunk[j]);
+        vm.chargeCycles(n);
+    }
+    const double avg =
+        args.count ? sum / static_cast<double>(args.count) : 0.0;
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &avg, 8);
+    res.value = bits;
+    return res;
+}
+
+// ---------------------------------------------------------------------
+// CN-side application
+// ---------------------------------------------------------------------
+
+ClioDataFrame::ClioDataFrame(ClioClient &client, NodeId mn,
+                             std::uint32_t select_id, std::uint32_t agg_id,
+                             Tick cn_ps_per_row)
+    : client_(client), mn_(mn), select_id_(select_id), agg_id_(agg_id),
+      cn_ps_per_row_(cn_ps_per_row)
+{
+}
+
+bool
+ClioDataFrame::load(const std::vector<std::uint8_t> &col_a,
+                    const std::vector<std::int64_t> &col_b)
+{
+    clio_assert(col_a.size() == col_b.size(), "ragged columns");
+    rows_ = col_a.size();
+    col_a_ = client_.ralloc(std::max<std::uint64_t>(rows_, 1));
+    col_b_ = client_.ralloc(std::max<std::uint64_t>(rows_ * 8, 8));
+    scratch_ = client_.ralloc(std::max<std::uint64_t>(rows_ * 8, 8));
+    if (!col_a_ || !col_b_ || !scratch_)
+        return false;
+    if (client_.rwrite(col_a_, col_a.data(), rows_) != Status::kOk)
+        return false;
+    return client_.rwrite(col_b_, col_b.data(), rows_ * 8) == Status::kOk;
+}
+
+void
+ClioDataFrame::buildHistogram(const std::vector<std::int64_t> &values,
+                              std::array<std::uint64_t, 16> &bins)
+{
+    bins.fill(0);
+    if (values.empty())
+        return;
+    const auto [lo_it, hi_it] =
+        std::minmax_element(values.begin(), values.end());
+    const double lo = static_cast<double>(*lo_it);
+    const double span =
+        std::max(1.0, static_cast<double>(*hi_it) - lo);
+    for (std::int64_t v : values) {
+        auto bin = static_cast<std::size_t>(
+            (static_cast<double>(v) - lo) / span * 15.999);
+        bins[bin]++;
+    }
+}
+
+void
+ClioDataFrame::chargeCnCompute(std::uint64_t row_count)
+{
+    EventQueue &eq = client_.cnode().eventQueue();
+    eq.runUntilTime(eq.now() + cn_ps_per_row_ * row_count);
+}
+
+DfQueryResult
+ClioDataFrame::runOffload(std::uint8_t match)
+{
+    DfQueryResult out;
+    // 1) select at the MN: compact matching fieldB values in place.
+    SelectOffload::Args sel;
+    sel.col_a_addr = col_a_;
+    sel.col_b_addr = col_b_;
+    sel.out_addr = scratch_;
+    sel.rows = rows_;
+    sel.match = match;
+    auto sel_req = std::make_shared<RequestMsg>();
+    std::uint64_t selected = 0;
+    if (client_.offloadCall(mn_, select_id_, SelectOffload::encode(sel),
+                            nullptr, &selected) != Status::kOk)
+        return out;
+    out.net_bytes += sizeof(sel) + 32;
+    out.selected = selected;
+    (void)sel_req;
+
+    // 2) aggregate at the MN over the compacted values.
+    AggregateOffload::Args agg;
+    agg.values_addr = scratch_;
+    agg.count = selected;
+    std::uint64_t avg_bits = 0;
+    if (client_.offloadCall(mn_, agg_id_, AggregateOffload::encode(agg),
+                            nullptr, &avg_bits) != Status::kOk)
+        return out;
+    out.net_bytes += sizeof(agg) + 32;
+    std::memcpy(&out.avg, &avg_bits, 8);
+
+    // 3) histogram at the CN: fetch ONLY the selected values.
+    std::vector<std::int64_t> values(selected);
+    if (selected) {
+        if (client_.rread(scratch_, values.data(), selected * 8) !=
+            Status::kOk)
+            return out;
+        out.net_bytes += selected * 8;
+    }
+    chargeCnCompute(selected);
+    buildHistogram(values, out.histogram);
+    out.ok = true;
+    return out;
+}
+
+DfQueryResult
+ClioDataFrame::runAtCn(std::uint8_t match)
+{
+    DfQueryResult out;
+    // Ship both whole columns to the CN (the RDMA plan), then do
+    // select, aggregate, and histogram locally.
+    std::vector<std::uint8_t> col_a(rows_);
+    std::vector<std::int64_t> col_b(rows_);
+    if (client_.rread(col_a_, col_a.data(), rows_) != Status::kOk)
+        return out;
+    if (client_.rread(col_b_, col_b.data(), rows_ * 8) != Status::kOk)
+        return out;
+    out.net_bytes += rows_ * 9;
+
+    std::vector<std::int64_t> values;
+    for (std::uint64_t i = 0; i < rows_; i++) {
+        if (col_a[i] == match)
+            values.push_back(col_b[i]);
+    }
+    chargeCnCompute(rows_); // CPU scan of both columns
+    out.selected = values.size();
+    double sum = 0;
+    for (std::int64_t v : values)
+        sum += static_cast<double>(v);
+    out.avg = values.empty()
+                  ? 0.0
+                  : sum / static_cast<double>(values.size());
+    chargeCnCompute(values.size());
+    buildHistogram(values, out.histogram);
+    out.ok = true;
+    return out;
+}
+
+} // namespace clio

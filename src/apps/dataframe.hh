@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Clio-DF (§6): a DataFrame-style analytics application that splits
+ * computation between CN and MN. `select` and `aggregate` run at the
+ * MN as offloads (reducing network traffic by shipping only matching
+ * rows); `shuffle`/`histogram` run at the CN. All operators — CN and
+ * MN side — act on the SAME remote address space (the offloads are
+ * registered with registerOffloadShared), which is the paper's key
+ * point: no serialization/deserialization between the halves.
+ *
+ * The Fig. 20 query: SELECT rows WHERE fieldA == v; AVG(fieldB) of
+ * them; histogram of the selected fieldB values at the CN.
+ */
+
+#ifndef CLIO_APPS_DATAFRAME_HH
+#define CLIO_APPS_DATAFRAME_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cboard/offload.hh"
+#include "clib/client.hh"
+
+namespace clio {
+
+/** MN-side select: compact matching fieldB values into an output
+ * buffer within the shared RAS. */
+class SelectOffload : public Offload
+{
+  public:
+    struct Args
+    {
+        std::uint64_t col_a_addr = 0; ///< u8 predicate column
+        std::uint64_t col_b_addr = 0; ///< i64 value column
+        std::uint64_t out_addr = 0;   ///< compacted i64 output
+        std::uint64_t rows = 0;
+        std::uint8_t match = 0;
+    };
+    static std::vector<std::uint8_t> encode(const Args &args);
+
+    OffloadResult invoke(OffloadVm &vm,
+                         const std::vector<std::uint8_t> &arg) override;
+};
+
+/** MN-side aggregate: average of `count` i64 values at an address. */
+class AggregateOffload : public Offload
+{
+  public:
+    struct Args
+    {
+        std::uint64_t values_addr = 0;
+        std::uint64_t count = 0;
+    };
+    static std::vector<std::uint8_t> encode(const Args &args);
+
+    OffloadResult invoke(OffloadVm &vm,
+                         const std::vector<std::uint8_t> &arg) override;
+};
+
+/** Query result + work accounting. */
+struct DfQueryResult
+{
+    std::uint64_t selected = 0;
+    double avg = 0;
+    std::array<std::uint64_t, 16> histogram{};
+    /** Bytes moved over the network for this query. */
+    std::uint64_t net_bytes = 0;
+    bool ok = false;
+};
+
+/** The CN-side DataFrame application. */
+class ClioDataFrame
+{
+  public:
+    /**
+     * @param select_id / @param agg_id offload ids of SelectOffload /
+     *        AggregateOffload registered (shared-RAS) at `mn`; pass 0
+     *        to force the CN-only execution path.
+     * @param cn_ps_per_row modeled CN CPU cost per row scanned.
+     */
+    ClioDataFrame(ClioClient &client, NodeId mn, std::uint32_t select_id,
+                  std::uint32_t agg_id, Tick cn_ps_per_row = 1000);
+
+    /** Upload a table (predicate column A, value column B). */
+    bool load(const std::vector<std::uint8_t> &col_a,
+              const std::vector<std::int64_t> &col_b);
+
+    /** Execute the Fig. 20 query with select+aggregate at the MN. */
+    DfQueryResult runOffload(std::uint8_t match);
+
+    /** Execute everything at the CN (the RDMA-style plan: ship whole
+     * columns, filter/aggregate locally). */
+    DfQueryResult runAtCn(std::uint8_t match);
+
+    std::uint64_t rows() const { return rows_; }
+
+  private:
+    /** CN-side histogram of i64 values into 16 bins. */
+    static void buildHistogram(const std::vector<std::int64_t> &values,
+                               std::array<std::uint64_t, 16> &bins);
+
+    /** Model CN compute time for scanning `rows` rows. */
+    void chargeCnCompute(std::uint64_t row_count);
+
+    ClioClient &client_;
+    NodeId mn_;
+    std::uint32_t select_id_;
+    std::uint32_t agg_id_;
+    Tick cn_ps_per_row_;
+
+    std::uint64_t rows_ = 0;
+    VirtAddr col_a_ = 0;
+    VirtAddr col_b_ = 0;
+    VirtAddr scratch_ = 0; ///< compacted select output (shared RAS)
+};
+
+} // namespace clio
+
+#endif // CLIO_APPS_DATAFRAME_HH

@@ -1,0 +1,172 @@
+#include "apps/image.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace clio {
+
+std::vector<std::uint8_t>
+rleCompress(const std::vector<std::uint8_t> &in)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(in.size() / 2);
+    std::size_t i = 0;
+    while (i < in.size()) {
+        const std::uint8_t byte = in[i];
+        std::size_t run = 1;
+        while (i + run < in.size() && in[i + run] == byte && run < 255)
+            run++;
+        out.push_back(static_cast<std::uint8_t>(run));
+        out.push_back(byte);
+        i += run;
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+rleDecompress(const std::vector<std::uint8_t> &in)
+{
+    std::vector<std::uint8_t> out;
+    clio_assert(in.size() % 2 == 0, "corrupt RLE stream");
+    for (std::size_t i = 0; i < in.size(); i += 2) {
+        out.insert(out.end(), in[i], in[i + 1]);
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+makeSyntheticImage(std::uint32_t width, std::uint32_t height,
+                   std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> img(static_cast<std::size_t>(width) *
+                                  height);
+    // Horizontal bands of near-constant intensity with occasional
+    // speckles: compresses well but not trivially.
+    for (std::uint32_t y = 0; y < height; y++) {
+        const auto base =
+            static_cast<std::uint8_t>((y * 255) / height);
+        for (std::uint32_t x = 0; x < width; x++) {
+            std::uint8_t v = base;
+            if (rng.chance(0.01))
+                v = static_cast<std::uint8_t>(rng.uniformInt(256));
+            img[static_cast<std::size_t>(y) * width + x] = v;
+        }
+    }
+    return img;
+}
+
+ImageCompressionTask::ImageCompressionTask(ClioClient &client,
+                                           std::uint32_t images,
+                                           std::uint32_t image_bytes,
+                                           Tick cpu_ps_per_byte,
+                                           std::uint64_t seed)
+    : client_(client), images_(images), image_bytes_(image_bytes),
+      cpu_ps_per_byte_(cpu_ps_per_byte), seed_(seed),
+      slot_bytes_(2ull * image_bytes + 16)
+{
+}
+
+bool
+ImageCompressionTask::setup()
+{
+    originals_ = client_.ralloc(static_cast<std::uint64_t>(images_) *
+                                image_bytes_);
+    compressed_ = client_.ralloc(static_cast<std::uint64_t>(images_) *
+                                 slot_bytes_);
+    if (!originals_ || !compressed_)
+        return false;
+    // Upload the collection. Images within a collection differ by
+    // their seed; dimensions follow the Fig. 16 workload (256x256).
+    const std::uint32_t side = 256;
+    for (std::uint32_t i = 0; i < images_; i++) {
+        auto img = makeSyntheticImage(side, image_bytes_ / side,
+                                      seed_ * 1000003 + i);
+        img.resize(image_bytes_);
+        if (client_.rwrite(originals_ +
+                               static_cast<std::uint64_t>(i) *
+                                   image_bytes_,
+                           img.data(), image_bytes_) != Status::kOk)
+            return false;
+    }
+    return true;
+}
+
+ClosedLoopRunner::Actor
+ImageCompressionTask::actor()
+{
+    phase_ = Phase::kRead;
+    current_ = 0;
+    io_buf_.resize(image_bytes_);
+    return [this]() -> ActorStep {
+        while (true) {
+            switch (phase_) {
+              case Phase::kRead: {
+                if (current_ >= images_) {
+                    phase_ = Phase::kDone;
+                    continue;
+                }
+                phase_ = Phase::kCompress;
+                return ActorStep::wait(client_.rreadAsync(
+                    originals_ + static_cast<std::uint64_t>(current_) *
+                                     image_bytes_,
+                    io_buf_.data(), image_bytes_));
+              }
+              case Phase::kCompress: {
+                // CPU compression: charge modeled CN compute time.
+                out_buf_ = rleCompress(io_buf_);
+                compressed_bytes_ += out_buf_.size();
+                phase_ = Phase::kWrite;
+                return ActorStep::compute(
+                    cpu_ps_per_byte_ * (image_bytes_ + out_buf_.size()));
+              }
+              case Phase::kWrite: {
+                // Length prefix + payload into the image's slot.
+                std::vector<std::uint8_t> blob(8 + out_buf_.size());
+                const std::uint64_t len = out_buf_.size();
+                std::memcpy(blob.data(), &len, 8);
+                std::memcpy(blob.data() + 8, out_buf_.data(),
+                            out_buf_.size());
+                auto handle = client_.rwriteAsync(
+                    compressed_ + static_cast<std::uint64_t>(current_) *
+                                      slot_bytes_,
+                    blob.data(), blob.size());
+                processed_++;
+                current_++;
+                phase_ = Phase::kRead;
+                return ActorStep::wait(handle);
+              }
+              case Phase::kDone:
+                return ActorStep::done();
+            }
+        }
+    };
+}
+
+bool
+ImageCompressionTask::verifyRoundTrip(std::uint32_t index)
+{
+    clio_assert(index < images_, "image index out of range");
+    // Fetch the original and the stored compressed blob; check the
+    // decompression matches.
+    std::vector<std::uint8_t> orig(image_bytes_);
+    if (client_.rread(originals_ +
+                          static_cast<std::uint64_t>(index) *
+                              image_bytes_,
+                      orig.data(), image_bytes_) != Status::kOk)
+        return false;
+    std::uint64_t len = 0;
+    const VirtAddr slot =
+        compressed_ + static_cast<std::uint64_t>(index) * slot_bytes_;
+    if (client_.rread(slot, &len, 8) != Status::kOk || len == 0 ||
+        len > slot_bytes_ - 8)
+        return false;
+    std::vector<std::uint8_t> blob(len);
+    if (client_.rread(slot + 8, blob.data(), len) != Status::kOk)
+        return false;
+    return rleDecompress(blob) == orig;
+}
+
+} // namespace clio

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Image compression utility (§6): a CN-side application where each
+ * client (e.g. one user's photo collection) stores originals and
+ * compressed images in two remote arrays, reads a photo with rread,
+ * (de)compresses it on the CN CPU, and writes the result back with
+ * rwrite. One process per client isolates collections (R5) — which is
+ * exactly what forces the RDMA baseline into one MR per client and
+ * into MR-cache thrashing as clients scale (Fig. 16).
+ */
+
+#ifndef CLIO_APPS_IMAGE_HH
+#define CLIO_APPS_IMAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/runner.hh"
+#include "clib/client.hh"
+
+namespace clio {
+
+/** Run-length encode (the paper's "simple compression" stand-in). */
+std::vector<std::uint8_t> rleCompress(const std::vector<std::uint8_t> &in);
+
+/** Inverse of rleCompress. */
+std::vector<std::uint8_t>
+rleDecompress(const std::vector<std::uint8_t> &in);
+
+/** Synthetic "photo": smooth gradients with runs, so RLE does real
+ * work (256*256 grayscale by default, like the Fig. 16 workload). */
+std::vector<std::uint8_t> makeSyntheticImage(std::uint32_t width,
+                                             std::uint32_t height,
+                                             std::uint64_t seed);
+
+/** One client's compression workload, usable as a runner actor. */
+class ImageCompressionTask
+{
+  public:
+    /**
+     * @param images number of photos in this client's collection.
+     * @param image_bytes size of one photo.
+     * @param cpu_ps_per_byte modeled CN compression speed.
+     */
+    ImageCompressionTask(ClioClient &client, std::uint32_t images,
+                         std::uint32_t image_bytes,
+                         Tick cpu_ps_per_byte = 500, // 2 GB/s codec
+                         std::uint64_t seed = 1);
+
+    /** Allocate the two remote arrays and upload the originals.
+     * @retval false on allocation failure. */
+    bool setup();
+
+    /** Actor function: processes all images, one rread + compress +
+     * rwrite at a time (closed loop). */
+    ClosedLoopRunner::Actor actor();
+
+    std::uint32_t processed() const { return processed_; }
+    /** Bytes of compressed output produced (sanity/stat). */
+    std::uint64_t compressedBytes() const { return compressed_bytes_; }
+
+    /** Verify one image decompresses back to the original (test). */
+    bool verifyRoundTrip(std::uint32_t index);
+
+  private:
+    ClioClient &client_;
+    std::uint32_t images_;
+    std::uint32_t image_bytes_;
+    Tick cpu_ps_per_byte_;
+    std::uint64_t seed_;
+
+    VirtAddr originals_ = 0;
+    VirtAddr compressed_ = 0;
+    /** Compressed slot stride (worst-case RLE is 2x input). */
+    std::uint64_t slot_bytes_ = 0;
+
+    std::uint32_t processed_ = 0;
+    std::uint64_t compressed_bytes_ = 0;
+
+    /** Actor state machine. */
+    enum class Phase { kRead, kCompress, kWrite, kDone };
+    Phase phase_ = Phase::kRead;
+    std::uint32_t current_ = 0;
+    std::vector<std::uint8_t> io_buf_;
+    std::vector<std::uint8_t> out_buf_;
+};
+
+} // namespace clio
+
+#endif // CLIO_APPS_IMAGE_HH

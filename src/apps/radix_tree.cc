@@ -1,0 +1,255 @@
+#include "apps/radix_tree.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace clio {
+
+// ---------------------------------------------------------------------
+// Pointer-chase offload
+// ---------------------------------------------------------------------
+
+std::vector<std::uint8_t>
+PointerChaseOffload::encode(const Args &args)
+{
+    std::vector<std::uint8_t> out(sizeof(Args));
+    std::memcpy(out.data(), &args, sizeof(Args));
+    return out;
+}
+
+OffloadResult
+PointerChaseOffload::invoke(OffloadVm &vm,
+                            const std::vector<std::uint8_t> &arg)
+{
+    OffloadResult res;
+    if (arg.size() != sizeof(Args)) {
+        res.status = Status::kOffloadError;
+        return res;
+    }
+    Args args;
+    std::memcpy(&args, arg.data(), sizeof(Args));
+    if (args.value_offset + 8 > args.node_bytes ||
+        args.next_offset + 8 > args.node_bytes) {
+        res.status = Status::kOffloadError;
+        return res;
+    }
+
+    std::uint64_t cursor = args.start;
+    std::vector<std::uint8_t> node(args.node_bytes);
+    for (std::uint32_t step = 0; cursor && step < args.max_steps;
+         step++) {
+        visited_++;
+        // One DRAM access per node: fetch the whole node, compare and
+        // follow the link from the on-chip copy (§6's FPGA walker).
+        if (!vm.read(cursor, node.data(), args.node_bytes)) {
+            res.status = Status::kBadAddress;
+            return res;
+        }
+        std::uint64_t value = 0, next = 0;
+        std::memcpy(&value, node.data() + args.value_offset, 8);
+        std::memcpy(&next, node.data() + args.next_offset, 8);
+        if (value == args.target) {
+            // Match: return the node's address and raw bytes so the
+            // caller saves a follow-up read.
+            res.value = cursor;
+            res.data = node;
+            return res;
+        }
+        cursor = next;
+        // Per-node comparison logic on the FPGA.
+        vm.chargeCycles(2);
+    }
+    res.value = 0; // null: no match in the list
+    return res;
+}
+
+// ---------------------------------------------------------------------
+// Remote radix tree
+// ---------------------------------------------------------------------
+
+RemoteRadixTree::RemoteRadixTree(ClioClient &client, NodeId mn,
+                                 std::uint32_t chase_offload_id,
+                                 std::uint64_t arena_bytes)
+    : client_(client), mn_(mn), chase_id_(chase_offload_id),
+      arena_bytes_(arena_bytes)
+{
+    arena_ = client_.ralloc(arena_bytes_);
+    clio_assert(arena_ != 0, "radix arena allocation failed");
+    root_ = allocNode();
+    NodeImage root{};
+    client_.rwrite(root_, &root, kNodeBytes);
+}
+
+VirtAddr
+RemoteRadixTree::allocNode()
+{
+    if (arena_used_ + kNodeBytes > arena_bytes_)
+        return 0;
+    const VirtAddr addr = arena_ + arena_used_;
+    arena_used_ += kNodeBytes;
+    node_count_++;
+    return addr;
+}
+
+bool
+RemoteRadixTree::insert(const std::string &key, std::uint64_t value)
+{
+    clio_assert(value != 0, "0 marks non-terminal nodes");
+    VirtAddr cur = root_;
+    for (char c : key) {
+        // Walk the child list looking for the edge character.
+        NodeImage cur_img;
+        if (client_.rread(cur, &cur_img, kNodeBytes) != Status::kOk)
+            return false;
+        VirtAddr child = cur_img.child_head;
+        VirtAddr found = 0;
+        while (child) {
+            NodeImage img;
+            if (client_.rread(child, &img, kNodeBytes) != Status::kOk)
+                return false;
+            if (img.ch == static_cast<std::uint64_t>(
+                              static_cast<std::uint8_t>(c))) {
+                found = child;
+                break;
+            }
+            child = img.next;
+        }
+        if (!found) {
+            found = allocNode();
+            if (!found)
+                return false;
+            NodeImage fresh{};
+            fresh.next = cur_img.child_head;
+            fresh.ch = static_cast<std::uint8_t>(c);
+            if (client_.rwrite(found, &fresh, kNodeBytes) != Status::kOk)
+                return false;
+            // Push-front into the parent's child list.
+            cur_img.child_head = found;
+            if (client_.rwrite(cur + 8, &cur_img.child_head, 8) !=
+                Status::kOk)
+                return false;
+        }
+        cur = found;
+    }
+    // Terminal payload.
+    return client_.rwrite(cur + 24, &value, 8) == Status::kOk;
+}
+
+bool
+RemoteRadixTree::bulkLoad(
+    const std::vector<std::pair<std::string, std::uint64_t>> &kvs)
+{
+    // Build the tree in host memory using arena-relative node indices,
+    // then upload the image in one write. Index 0 is the (existing)
+    // root at arena_ + 0.
+    clio_assert(arena_used_ == kNodeBytes && node_count_ == 1,
+                "bulkLoad requires a fresh tree");
+    std::vector<NodeImage> nodes(1);
+    auto addr_of = [this](std::uint64_t index) {
+        return arena_ + index * kNodeBytes;
+    };
+    for (const auto &[key, value] : kvs) {
+        clio_assert(value != 0, "0 marks non-terminal nodes");
+        std::uint64_t cur = 0;
+        for (char c : key) {
+            const std::uint64_t ch = static_cast<std::uint8_t>(c);
+            // Find the edge in cur's child list.
+            std::uint64_t child_addr = nodes[cur].child_head;
+            std::uint64_t found = 0;
+            while (child_addr) {
+                const std::uint64_t idx =
+                    (child_addr - arena_) / kNodeBytes;
+                if (nodes[idx].ch == ch) {
+                    found = idx;
+                    break;
+                }
+                child_addr = nodes[idx].next;
+            }
+            if (!child_addr) {
+                if ((nodes.size() + 1) * kNodeBytes > arena_bytes_)
+                    return false;
+                NodeImage fresh{};
+                fresh.ch = ch;
+                fresh.next = nodes[cur].child_head;
+                found = nodes.size();
+                nodes.push_back(fresh);
+                nodes[cur].child_head = addr_of(found);
+            }
+            cur = found;
+        }
+        nodes[cur].value = value;
+    }
+    arena_used_ = nodes.size() * kNodeBytes;
+    node_count_ = nodes.size();
+    return client_.rwrite(arena_, nodes.data(),
+                          nodes.size() * kNodeBytes) == Status::kOk;
+}
+
+RadixSearchResult
+RemoteRadixTree::searchOffload(const std::string &key)
+{
+    RadixSearchResult out;
+    // Read the root once to obtain the first child list head.
+    NodeImage img;
+    if (client_.rread(root_, &img, kNodeBytes) != Status::kOk)
+        return out;
+    out.remote_reads++;
+    for (char c : key) {
+        if (!img.child_head)
+            return out; // dead end
+        PointerChaseOffload::Args args;
+        args.start = img.child_head;
+        args.target = static_cast<std::uint8_t>(c);
+        args.value_offset = 16; // NodeImage::ch
+        args.next_offset = 0;   // NodeImage::next
+        args.node_bytes = kNodeBytes;
+        std::vector<std::uint8_t> node_bytes;
+        std::uint64_t match = 0;
+        if (client_.offloadCall(mn_, chase_id_,
+                                PointerChaseOffload::encode(args),
+                                &node_bytes, &match,
+                                kNodeBytes + 32) != Status::kOk)
+            return out;
+        out.offload_calls++;
+        if (!match)
+            return out; // no such edge
+        clio_assert(node_bytes.size() == kNodeBytes, "short chase reply");
+        std::memcpy(&img, node_bytes.data(), kNodeBytes);
+    }
+    if (img.value)
+        out.value = img.value;
+    return out;
+}
+
+RadixSearchResult
+RemoteRadixTree::searchDirect(const std::string &key)
+{
+    RadixSearchResult out;
+    NodeImage img;
+    if (client_.rread(root_, &img, kNodeBytes) != Status::kOk)
+        return out;
+    out.remote_reads++;
+    for (char c : key) {
+        VirtAddr child = img.child_head;
+        bool found = false;
+        while (child) {
+            if (client_.rread(child, &img, kNodeBytes) != Status::kOk)
+                return out;
+            out.remote_reads++;
+            if (img.ch == static_cast<std::uint64_t>(
+                              static_cast<std::uint8_t>(c))) {
+                found = true;
+                break;
+            }
+            child = img.next;
+        }
+        if (!found)
+            return out;
+    }
+    if (img.value)
+        out.value = img.value;
+    return out;
+}
+
+} // namespace clio

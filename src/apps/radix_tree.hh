@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Radix tree on Clio's extended API (§6): the tree lives in the
+ * client's remote address space; searches use a pointer-chasing
+ * offload deployed on the MN, turning a per-node round trip into one
+ * round trip per tree level (the Fig. 17 win over RDMA).
+ *
+ * Node layout (32 bytes, stored remotely):
+ *   +0  next        sibling in the parent's child list
+ *   +8  child_head  first child of this node
+ *   +16 ch          the edge character (as u64)
+ *   +24 value       terminal payload (0 = non-terminal)
+ */
+
+#ifndef CLIO_APPS_RADIX_TREE_HH
+#define CLIO_APPS_RADIX_TREE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cboard/offload.hh"
+#include "clib/client.hh"
+
+namespace clio {
+
+/**
+ * Generic pointer-chasing offload (§6): follows `next_offset` links
+ * from `start`, comparing the u64 at `value_offset` against `target`;
+ * returns the matching node's address and its raw bytes. Registered
+ * with registerOffloadShared() so it walks the *client's* RAS.
+ */
+class PointerChaseOffload : public Offload
+{
+  public:
+    /** Argument layout (little-endian). */
+    struct Args
+    {
+        std::uint64_t start = 0;
+        std::uint64_t target = 0;
+        std::uint32_t value_offset = 0;
+        std::uint32_t next_offset = 0;
+        std::uint32_t node_bytes = 32; ///< bytes of the match returned
+        std::uint32_t max_steps = 1 << 20;
+    };
+
+    static std::vector<std::uint8_t> encode(const Args &args);
+
+    OffloadResult invoke(OffloadVm &vm,
+                         const std::vector<std::uint8_t> &arg) override;
+
+    /** Total nodes traversed (stat). */
+    std::uint64_t nodesVisited() const { return visited_; }
+
+  private:
+    std::uint64_t visited_ = 0;
+};
+
+/** Search outcome including traversal work (for baseline costing). */
+struct RadixSearchResult
+{
+    std::optional<std::uint64_t> value;
+    /** Remote reads a one-sided-read traversal performed. */
+    std::uint64_t remote_reads = 0;
+    /** Offload invocations (one per level) a Clio traversal used. */
+    std::uint64_t offload_calls = 0;
+};
+
+/** The CN-side radix tree (§6: ~300 lines of C at the CN). */
+class RemoteRadixTree
+{
+  public:
+    /**
+     * @param chase_offload_id id under which a PointerChaseOffload
+     *        sharing this client's RAS is registered at `mn`.
+     * @param arena_bytes contiguous remote arena for nodes (§6:
+     *        "allocates a big contiguous remote memory space").
+     */
+    RemoteRadixTree(ClioClient &client, NodeId mn,
+                    std::uint32_t chase_offload_id,
+                    std::uint64_t arena_bytes = 64 * MiB);
+
+    /** Insert a key with a nonzero terminal value. */
+    bool insert(const std::string &key, std::uint64_t value);
+
+    /**
+     * Bulk-load many keys: builds the whole tree image locally and
+     * uploads it with one large rwrite (a checkpoint-restore-style
+     * population used by the Fig. 17 bench to pre-build big trees
+     * without millions of simulated round trips).
+     * @retval false when the arena is too small.
+     */
+    bool bulkLoad(
+        const std::vector<std::pair<std::string, std::uint64_t>> &kvs);
+
+    /** Search using the pointer-chase offload: one call per level. */
+    RadixSearchResult searchOffload(const std::string &key);
+
+    /** Search with plain remote reads (the RDMA-style traversal:
+     * one round trip per visited node). */
+    RadixSearchResult searchDirect(const std::string &key);
+
+    std::uint64_t nodeCount() const { return node_count_; }
+
+  private:
+    static constexpr std::uint64_t kNodeBytes = 32;
+
+    struct NodeImage
+    {
+        std::uint64_t next = 0;
+        std::uint64_t child_head = 0;
+        std::uint64_t ch = 0;
+        std::uint64_t value = 0;
+    };
+
+    /** Bump-allocate a node slot in the remote arena (0 = full). */
+    VirtAddr allocNode();
+
+    ClioClient &client_;
+    NodeId mn_;
+    std::uint32_t chase_id_;
+    VirtAddr arena_ = 0;
+    std::uint64_t arena_bytes_ = 0;
+    std::uint64_t arena_used_ = 0;
+    VirtAddr root_ = 0;
+    std::uint64_t node_count_ = 0;
+};
+
+} // namespace clio
+
+#endif // CLIO_APPS_RADIX_TREE_HH

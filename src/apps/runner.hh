@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Closed-loop workload runner: drives N concurrent client "actors"
+ * over one simulated cluster. Each actor is a resumable state machine
+ * that, when advanced, either issues an asynchronous Clio request
+ * (resuming on its completion), asks to sleep for some simulated time
+ * (modeling CN-side compute such as image compression), or finishes.
+ *
+ * This is how the multi-client evaluation scenarios (Figs. 8, 16, 18,
+ * 19) express concurrency on top of the single-threaded
+ * discrete-event core.
+ */
+
+#ifndef CLIO_APPS_RUNNER_HH
+#define CLIO_APPS_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "clib/client.hh"
+#include "sim/event_queue.hh"
+
+namespace clio {
+
+/** What an actor wants to do next. */
+struct ActorStep
+{
+    /** Wait for this request, then resume (null = no request). */
+    HandlePtr handle;
+    /** Sleep this long before resuming (CPU compute model). */
+    Tick delay = 0;
+    /** Actor has finished its workload. */
+    bool finished = false;
+
+    static ActorStep
+    wait(HandlePtr h)
+    {
+        ActorStep step;
+        step.handle = std::move(h);
+        return step;
+    }
+
+    static ActorStep
+    compute(Tick d)
+    {
+        ActorStep step;
+        step.delay = d;
+        return step;
+    }
+
+    static ActorStep
+    done()
+    {
+        ActorStep step;
+        step.finished = true;
+        return step;
+    }
+};
+
+/** Runs actors until every one of them finishes. */
+class ClosedLoopRunner
+{
+  public:
+    using Actor = std::function<ActorStep()>;
+
+    explicit ClosedLoopRunner(EventQueue &eq) : eq_(eq) {}
+
+    /** Register an actor (not started yet). */
+    void
+    addActor(Actor actor)
+    {
+        actors_.push_back(std::move(actor));
+    }
+
+    std::size_t finished() const { return finished_; }
+
+    /**
+     * Start every actor and pump the event queue until all finish.
+     * @return total simulated time elapsed.
+     */
+    Tick
+    run()
+    {
+        const Tick t0 = eq_.now();
+        finished_ = 0;
+        for (std::size_t i = 0; i < actors_.size(); i++)
+            advance(i);
+        eq_.runUntil([this] { return finished_ == actors_.size(); });
+        return eq_.now() - t0;
+    }
+
+  private:
+    void
+    advance(std::size_t idx)
+    {
+        ActorStep step = actors_[idx]();
+        if (step.finished) {
+            finished_++;
+            return;
+        }
+        if (step.handle) {
+            // Resume when the request completes (handles finish only
+            // via queue events, so registering here is race-free).
+            step.handle->on_done = [this, idx] { advance(idx); };
+            return;
+        }
+        eq_.scheduleAfter(step.delay, [this, idx] { advance(idx); });
+    }
+
+    EventQueue &eq_;
+    std::vector<Actor> actors_;
+    std::size_t finished_ = 0;
+};
+
+} // namespace clio
+
+#endif // CLIO_APPS_RUNNER_HH

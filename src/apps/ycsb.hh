@@ -1,0 +1,103 @@
+/**
+ * @file
+ * YCSB-style workload generator (§7.2, Fig. 18): zipfian (theta 0.99)
+ * or uniform key popularity, configurable get/set mix matching the
+ * standard workloads (A = 50% set, B = 5% set, C = 0% set).
+ */
+
+#ifndef CLIO_APPS_YCSB_HH
+#define CLIO_APPS_YCSB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace clio {
+
+/** One generated operation. */
+struct YcsbOp
+{
+    bool is_set = false;
+    std::uint64_t key_index = 0;
+};
+
+/** Standard mixes. */
+enum class YcsbWorkload { kA, kB, kC };
+
+inline double
+setRatio(YcsbWorkload w)
+{
+    switch (w) {
+      case YcsbWorkload::kA:
+        return 0.50;
+      case YcsbWorkload::kB:
+        return 0.05;
+      case YcsbWorkload::kC:
+        return 0.0;
+    }
+    return 0;
+}
+
+inline const char *
+ycsbName(YcsbWorkload w)
+{
+    switch (w) {
+      case YcsbWorkload::kA:
+        return "A";
+      case YcsbWorkload::kB:
+        return "B";
+      case YcsbWorkload::kC:
+        return "C";
+    }
+    return "?";
+}
+
+/** Generator with YCSB's default zipfian key skew. */
+class YcsbGenerator
+{
+  public:
+    /**
+     * @param zipf false = uniform key popularity.
+     */
+    YcsbGenerator(std::uint64_t key_count, YcsbWorkload workload,
+                  bool zipf = true, double theta = 0.99,
+                  std::uint64_t seed = 1234)
+        : rng_(seed ^ 0x5bd1e995), zipf_(key_count, theta, seed),
+          uniform_keys_(!zipf), key_count_(key_count),
+          set_ratio_(setRatio(workload))
+    {
+    }
+
+    YcsbOp
+    next()
+    {
+        YcsbOp op;
+        op.is_set = rng_.chance(set_ratio_);
+        op.key_index =
+            uniform_keys_ ? rng_.uniformInt(key_count_) : zipf_.next();
+        return op;
+    }
+
+    /** Canonical key string for an index ("userNNNNNNN"). */
+    static std::string
+    keyString(std::uint64_t index)
+    {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "user%010llu",
+                      static_cast<unsigned long long>(index));
+        return buf;
+    }
+
+  private:
+    Rng rng_;
+    ZipfianGenerator zipf_;
+    bool uniform_keys_;
+    std::uint64_t key_count_;
+    double set_ratio_;
+};
+
+} // namespace clio
+
+#endif // CLIO_APPS_YCSB_HH

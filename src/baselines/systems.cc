@@ -1,0 +1,144 @@
+#include "baselines/systems.hh"
+
+namespace clio {
+
+// ---------------------------------------------------------------------
+// LegoOS
+// ---------------------------------------------------------------------
+
+LegoOsModel::LegoOsModel(const ModelConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed)
+{
+}
+
+Tick
+LegoOsModel::access(std::uint64_t len, bool is_write)
+{
+    const BaselineConfig &bc = cfg_.baselines;
+    // RDMA-style wire + NIC processing on both ends.
+    Tick t = wireRoundTrip(cfg_.net, is_write ? len : 16,
+                           is_write ? 16 : len);
+    t += 2 * cfg_.rdma.nic_processing;
+    // Software virtual memory system: thread-pool dispatch + hash
+    // lookup + permission check, the LegoOS bottleneck (§2.2).
+    t += bc.legoos_sw_request;
+    // Server DRAM, throughput-capped at the measured 77 Gbps.
+    t += cfg_.dram.server_access_latency +
+         static_cast<Tick>(len) * ticksPerByte(bc.legoos_peak_bps);
+    // Software handling adds scheduling jitter.
+    t += static_cast<Tick>(rng_.exponential(
+        static_cast<double>(200 * kNanosecond)));
+    return t;
+}
+
+Tick
+LegoOsModel::readLatency(std::uint64_t len)
+{
+    return access(len, false);
+}
+
+Tick
+LegoOsModel::writeLatency(std::uint64_t len)
+{
+    return access(len, true);
+}
+
+double
+LegoOsModel::peakGbps() const
+{
+    return static_cast<double>(cfg_.baselines.legoos_peak_bps) / 1e9;
+}
+
+// ---------------------------------------------------------------------
+// Clover (passive disaggregated memory)
+// ---------------------------------------------------------------------
+
+CloverModel::CloverModel(const ModelConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed)
+{
+}
+
+Tick
+CloverModel::readLatency(std::uint64_t len)
+{
+    const BaselineConfig &bc = cfg_.baselines;
+    // Passive memory cannot dereference anything itself: a read is a
+    // metadata/header fetch followed by a dependent data fetch (§2.3:
+    // multiple round trips for pointer-structured data).
+    Tick t = bc.clover_cn_overhead;
+    // Index lookup, then the version header, then the data itself —
+    // each a dependent one-sided read (Clover's get path).
+    t += wireRoundTrip(cfg_.net, 16, 32) + 2 * cfg_.rdma.nic_processing;
+    t += wireRoundTrip(cfg_.net, 16, 32) + 2 * cfg_.rdma.nic_processing;
+    t += wireRoundTrip(cfg_.net, 16, len) + 2 * cfg_.rdma.nic_processing;
+    t += 3 * cfg_.dram.server_access_latency +
+         static_cast<Tick>(len) * ticksPerByte(cfg_.dram.bandwidth_bps);
+    // Version-chain chase: sometimes the header points at a newer
+    // version, costing yet another round trip.
+    if (rng_.chance(0.2)) {
+        t += wireRoundTrip(cfg_.net, 16, len) +
+             2 * cfg_.rdma.nic_processing;
+    }
+    return t;
+}
+
+Tick
+CloverModel::writeLatency(std::uint64_t len)
+{
+    const BaselineConfig &bc = cfg_.baselines;
+    // Out-of-place data write, then a metadata/pointer CAS: at least
+    // two dependent RTTs because the MN cannot order anything itself.
+    Tick t = bc.clover_cn_overhead;
+    for (std::uint32_t i = 0; i < bc.clover_write_rtts; i++) {
+        const bool data_leg = i == 0;
+        t += wireRoundTrip(cfg_.net, data_leg ? len : 24, 16) +
+             2 * cfg_.rdma.nic_processing;
+    }
+    t += cfg_.dram.server_access_latency;
+    return t;
+}
+
+// ---------------------------------------------------------------------
+// HERD / HERD-BF
+// ---------------------------------------------------------------------
+
+HerdModel::HerdModel(const ModelConfig &cfg, bool bluefield,
+                     std::uint64_t seed)
+    : cfg_(cfg), bluefield_(bluefield), rng_(seed)
+{
+}
+
+Tick
+HerdModel::rpc(std::uint64_t request_bytes, std::uint64_t response_bytes)
+{
+    const BaselineConfig &bc = cfg_.baselines;
+    Tick t = wireRoundTrip(cfg_.net, request_bytes, response_bytes);
+    t += 2 * cfg_.rdma.nic_processing;
+    // RPC handler on the MN.
+    t += bc.herd_cpu_handler;
+    t += cfg_.dram.server_access_latency;
+    if (bluefield_) {
+        // Request and response both cross between the ConnectX chip
+        // and the ARM chip — the dominant HERD-BF cost (§7.1).
+        t += 2 * bc.bluefield_chip_crossing;
+        // The wimpy ARM also handles requests more slowly.
+        t += 2 * bc.herd_cpu_handler;
+    }
+    t += static_cast<Tick>(rng_.exponential(
+        static_cast<double>(100 * kNanosecond)));
+    return t;
+}
+
+Tick
+HerdModel::getLatency(std::uint64_t len)
+{
+    return rpc(32, len);
+}
+
+Tick
+HerdModel::putLatency(std::uint64_t len)
+{
+    return rpc(len + 32, 32);
+}
+
+} // namespace clio

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Latency-profile models of the paper's remaining comparison systems
+ * (§7.1, Figs. 10/11/18/21):
+ *
+ *  - LegoOS: a software memory node — RDMA-style networking plus a
+ *    thread-pool + software hash-table virtual memory system. ~2x
+ *    Clio's small-request latency; data path peaks at 77 Gbps.
+ *  - Clover: passive disaggregated memory (PDM). No MN processing:
+ *    reads are one RTT, writes need >= 2 RTTs to provide consistency
+ *    without MN-side logic, and CNs carry extra management work.
+ *  - HERD: an RPC-over-RDMA key-value system running on a server CPU
+ *    at the MN.
+ *  - HERD-BF: HERD on a BlueField SmartNIC, dominated by the crossing
+ *    between the ConnectX NIC chip and the ARM chip.
+ *
+ * These are timing models (they return latencies); the comparison
+ * benches drive them with the same workloads as Clio.
+ */
+
+#ifndef CLIO_BASELINES_SYSTEMS_HH
+#define CLIO_BASELINES_SYSTEMS_HH
+
+#include "baselines/rdma.hh"
+#include "sim/config.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace clio {
+
+/** LegoOS-style software MN (§2.2, §7.1). */
+class LegoOsModel
+{
+  public:
+    LegoOsModel(const ModelConfig &cfg, std::uint64_t seed = 11);
+
+    /** One remote read of `len` bytes (TLB-warm steady state). */
+    Tick readLatency(std::uint64_t len);
+    /** One remote write of `len` bytes. */
+    Tick writeLatency(std::uint64_t len);
+    /** Peak data-path throughput (the paper measured 77 Gbps). */
+    double peakGbps() const;
+
+  private:
+    Tick access(std::uint64_t len, bool is_write);
+
+    ModelConfig cfg_;
+    Rng rng_;
+};
+
+/** Clover-style passive disaggregated memory (§2.3, §7.1). */
+class CloverModel
+{
+  public:
+    CloverModel(const ModelConfig &cfg, std::uint64_t seed = 13);
+
+    /** Read: one RTT to raw memory (occasionally chases a version
+     * pointer, costing another RTT). */
+    Tick readLatency(std::uint64_t len);
+    /** Write: >= 2 RTTs (out-of-place write + metadata update). */
+    Tick writeLatency(std::uint64_t len);
+
+  private:
+    ModelConfig cfg_;
+    Rng rng_;
+};
+
+/** HERD-style RPC key-value node, on a CPU or a BlueField. */
+class HerdModel
+{
+  public:
+    /** @param bluefield run the RPC handlers on a BlueField SmartNIC
+     *  (adds the NIC-chip <-> ARM-chip crossing both ways). */
+    HerdModel(const ModelConfig &cfg, bool bluefield,
+              std::uint64_t seed = 17);
+
+    /** RPC get returning `len` bytes. */
+    Tick getLatency(std::uint64_t len);
+    /** RPC put of `len` bytes. */
+    Tick putLatency(std::uint64_t len);
+
+    bool bluefield() const { return bluefield_; }
+
+  private:
+    Tick rpc(std::uint64_t request_bytes, std::uint64_t response_bytes);
+
+    ModelConfig cfg_;
+    bool bluefield_;
+    Rng rng_;
+};
+
+} // namespace clio
+
+#endif // CLIO_BASELINES_SYSTEMS_HH

@@ -1,0 +1,842 @@
+#include "cboard/cboard.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "proto/wire.hh"
+#include "sim/logging.hh"
+
+namespace clio {
+
+CBoard::CBoard(EventQueue &eq, Network &network, const ModelConfig &cfg,
+               std::uint64_t phys_bytes)
+    : eq_(eq), net_(network), cfg_(cfg),
+      memory_(phys_bytes ? phys_bytes : cfg.mn_phys_bytes),
+      frames_(memory_.capacity(), cfg.page_table.page_size),
+      page_table_(memory_.capacity(), cfg.page_table.page_size,
+                  cfg.page_table.bucket_slots,
+                  cfg.page_table.overprovision),
+      tlb_(cfg.fast_path.tlb_entries),
+      valloc_(cfg.page_table.page_size, 1ull << 46),
+      dedup_(cfg.dedup.entries),
+      async_buffer_(cfg.slow_path.async_buffer_pages)
+{
+    node_ = net_.addNode([this](Packet pkt) { onPacket(std::move(pkt)); });
+    // Boot-time pre-generation: the ARM fills the async buffer before
+    // the board starts serving (§4.3). Reservation is capped to a
+    // quarter of physical memory so tiny test MNs keep frames
+    // available for eager allocation and migration admission.
+    reserve_cap_ = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        async_buffer_.capacity(),
+        std::max<std::uint64_t>(1, frames_.totalFrames() / 4)));
+    while (async_buffer_.vacancy() > 0 &&
+           async_buffer_.size() < reserve_cap_) {
+        auto frame = frames_.allocate();
+        if (!frame)
+            break;
+        async_buffer_.push(*frame);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ingress + MAT routing
+// ---------------------------------------------------------------------
+
+void
+CBoard::gcInflight()
+{
+    const Tick horizon = 10 * cfg_.clib.timeout;
+    if (eq_.now() < horizon)
+        return;
+    const Tick cutoff = eq_.now() - horizon;
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+        if (it->second.last_seen < cutoff)
+            it = inflight_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+CBoard::onPacket(Packet pkt)
+{
+    if (++packets_since_gc_ >= 4096) {
+        packets_since_gc_ = 0;
+        gcInflight();
+    }
+    if (pkt.corrupted) {
+        // Slim link layer: checksum fails, NACK immediately (§4.4).
+        stats_.nacks_sent++;
+        auto resp = std::make_shared<ResponseMsg>();
+        resp->req_id = pkt.req_id;
+        resp->status = Status::kCorrupt;
+        const Tick when = eq_.now() + cfg_.fast_path.mac_latency +
+                          2 * cfg_.fast_path.cycle;
+        respondAt(when, pkt.src, pkt.req_id, std::move(resp));
+        return;
+    }
+
+    switch (pkt.type) {
+      case MsgType::kRead:
+      case MsgType::kWrite:
+      case MsgType::kAtomic:
+      case MsgType::kFence: {
+        auto &inflight = inflight_[pkt.req_id];
+        if (inflight.total_parts == 0) {
+            inflight.total_parts = pkt.total_parts;
+            inflight.req =
+                std::static_pointer_cast<const RequestMsg>(pkt.msg);
+            // Dedup check happens once per request (T4): a retried
+            // write/atomic whose original executed is suppressed.
+            if (pkt.type == MsgType::kWrite ||
+                pkt.type == MsgType::kAtomic) {
+                if (auto cached = dedup_.find(inflight.req->orig_req_id)) {
+                    inflight.suppressed = true;
+                    dedup_.noteSuppressed();
+                    (void)*cached;
+                }
+            }
+        }
+        inflight.parts_seen++;
+        inflight.last_seen = eq_.now();
+        fastPathPacket(pkt, inflight);
+        if (inflight.parts_seen == inflight.total_parts) {
+            const auto &req = *inflight.req;
+            auto resp = std::make_shared<ResponseMsg>();
+            resp->req_id = req.req_id;
+            resp->status = inflight.status;
+            if (inflight.status == Status::kOk) {
+                if (req.type == MsgType::kRead) {
+                    // The fast path streamed the data out while
+                    // processing; materialize it into the response.
+                    resp->data.resize(req.size);
+                    readFunctional(req.pid, req.addr, resp->data.data(),
+                                   req.size);
+                } else if (req.type == MsgType::kAtomic) {
+                    resp->value = inflight.atomic_result;
+                }
+            }
+            // Record non-idempotent completions in the dedup buffer
+            // under the ORIGINAL attempt id (T4).
+            if (inflight.status == Status::kOk && !inflight.suppressed) {
+                if (req.type == MsgType::kWrite)
+                    dedup_.record(req.orig_req_id);
+                else if (req.type == MsgType::kAtomic)
+                    dedup_.record(req.orig_req_id,
+                                  inflight.atomic_result);
+            }
+            const Tick when = inflight.done +
+                              cfg_.fast_path.respond_cycles *
+                                  cfg_.fast_path.cycle +
+                              cfg_.fast_path.mac_latency;
+            last_op_done_ = std::max(last_op_done_, inflight.done);
+            respondAt(when, req.src, req.req_id, std::move(resp));
+            inflight_.erase(req.req_id);
+        }
+        break;
+      }
+      case MsgType::kAlloc:
+      case MsgType::kFree:
+        slowPathPacket(pkt);
+        break;
+      case MsgType::kOffload:
+        extendPathPacket(pkt);
+        break;
+      case MsgType::kResponse:
+      case MsgType::kNack:
+        clio_panic("MN received a response-type packet");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fast path
+// ---------------------------------------------------------------------
+
+std::optional<Pte>
+CBoard::translateOne(ProcId pid, VirtAddr va, bool is_write, Tick &t,
+                     Status &status)
+{
+    const std::uint64_t page_size = cfg_.page_table.page_size;
+    const std::uint64_t vpn = va / page_size;
+
+    t += cfg_.fast_path.tlb_lookup_cycles * cfg_.fast_path.cycle;
+    const Pte *cached = tlb_.lookup(pid, vpn);
+    Pte pte;
+    if (cached) {
+        pte = *cached;
+    } else {
+        // Exactly one DRAM bucket fetch (§4.2).
+        t += cfg_.dram.access_latency;
+        const Pte *stored = page_table_.lookup(pid, vpn);
+        if (!stored) {
+            stats_.bad_address++;
+            status = Status::kBadAddress;
+            return std::nullopt;
+        }
+        pte = *stored;
+        tlb_.insert(pte);
+    }
+
+    const std::uint8_t need = is_write ? kPermWrite : kPermRead;
+    if ((pte.perm & need) != need) {
+        stats_.perm_denied++;
+        status = Status::kPermDenied;
+        return std::nullopt;
+    }
+
+    if (!pte.present) {
+        // Hardware page fault: constant cycles + async-buffer pop
+        // (§4.3). PTE writeback and TLB insert happen in parallel with
+        // resuming the faulting request, so they add no latency.
+        stats_.page_faults++;
+        t += cfg_.fast_path.page_fault_cycles * cfg_.fast_path.cycle;
+        auto frame = popFreeFrame(t);
+        if (!frame) {
+            stats_.out_of_memory++;
+            status = Status::kOutOfMemory;
+            return std::nullopt;
+        }
+        page_table_.bindFrame(pid, vpn, *frame);
+        pte.frame = *frame;
+        pte.present = true;
+        tlb_.insert(pte);
+    }
+    return pte;
+}
+
+bool
+CBoard::readFunctional(ProcId pid, VirtAddr va, void *dst,
+                       std::uint64_t len)
+{
+    const std::uint64_t page_size = cfg_.page_table.page_size;
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (len > 0) {
+        const std::uint64_t vpn = va / page_size;
+        const std::uint64_t in_page = va % page_size;
+        const std::uint64_t n = std::min(len, page_size - in_page);
+        const Pte *pte = page_table_.lookup(pid, vpn);
+        if (!pte || !pte->present)
+            return false;
+        memory_.read(pte->frame + in_page, out, n);
+        out += n;
+        va += n;
+        len -= n;
+    }
+    return true;
+}
+
+Tick
+CBoard::memoryAccess(Tick t, std::uint64_t bytes, bool is_write)
+{
+    // The DMA engine is non-pipelined (the FPGA IP the paper blames
+    // for small-read throughput, Fig. 9): its per-request setup
+    // occupies the engine, not just the request's latency.
+    const Tick setup = is_write ? cfg_.fast_path.dma_write_setup
+                                : cfg_.fast_path.dma_read_setup;
+    const Tick xfer = static_cast<Tick>(bytes) *
+                      ticksPerByte(cfg_.dram.bandwidth_bps);
+    const Tick start = std::max(t, dram_free_);
+    dram_free_ = start + setup + xfer;
+    return start + setup + cfg_.dram.access_latency + xfer;
+}
+
+void
+CBoard::fastPathPacket(const Packet &pkt, Inflight &inflight)
+{
+    const auto &req = *inflight.req;
+    const FastPathConfig &fp = cfg_.fast_path;
+
+    // Ingress MAC/PHY, fence gate, and pipeline occupancy (II = 1:
+    // one datapath word per cycle). Read responses stream their
+    // payload back through the same datapath, so a read occupies the
+    // pipeline for its response bytes as well.
+    Tick t = eq_.now() + fp.mac_latency;
+    t = std::max(t, gate_open_);
+    const std::uint64_t egress_bytes =
+        req.type == MsgType::kRead && pkt.part == 0 ? req.size : 0;
+    const std::uint64_t words =
+        std::max<std::uint64_t>(1, (pkt.wire_bytes + egress_bytes +
+                                    datapathBytes() - 1) /
+                                       datapathBytes());
+    t = std::max(t, pipeline_free_);
+    pipeline_free_ = t + words * fp.cycle;
+    t += words * fp.cycle + fp.parse_cycles * fp.cycle;
+
+    if (inflight.status != Status::kOk || inflight.suppressed) {
+        // Earlier part failed, or duplicate: skip execution, keep
+        // timing cheap for remaining parts.
+        inflight.done = std::max(inflight.done, t);
+        return;
+    }
+
+    Status status = Status::kOk;
+    switch (req.type) {
+      case MsgType::kRead: {
+        stats_.reads++;
+        stats_.bytes_read += req.size;
+        // Translate + access each covered page.
+        VirtAddr va = req.addr;
+        std::uint64_t len = req.size;
+        const std::uint64_t page_size = cfg_.page_table.page_size;
+        while (len > 0 && status == Status::kOk) {
+            const std::uint64_t in_page = va % page_size;
+            const std::uint64_t n = std::min(len, page_size - in_page);
+            auto pte = translateOne(req.pid, va, false, t, status);
+            if (pte)
+                t = memoryAccess(t, n, false);
+            va += n;
+            len -= n;
+        }
+        break;
+      }
+      case MsgType::kWrite: {
+        // This packet carries payload [payload_offset, +payload_len).
+        if (pkt.part == 0) {
+            stats_.writes++;
+            stats_.bytes_written += req.size;
+        }
+        VirtAddr va = req.addr + pkt.payload_offset;
+        std::uint64_t len = pkt.payload_len;
+        const std::uint8_t *src = req.data.data() + pkt.payload_offset;
+        const std::uint64_t page_size = cfg_.page_table.page_size;
+        while (len > 0 && status == Status::kOk) {
+            const std::uint64_t in_page = va % page_size;
+            const std::uint64_t n = std::min(len, page_size - in_page);
+            auto pte = translateOne(req.pid, va, true, t, status);
+            if (pte) {
+                memory_.write(pte->frame + in_page, src, n);
+                t = memoryAccess(t, n, true);
+            }
+            va += n;
+            src += n;
+            len -= n;
+        }
+        break;
+      }
+      case MsgType::kAtomic: {
+        stats_.atomics++;
+        auto pte = translateOne(req.pid, req.addr, true, t, status);
+        if (pte) {
+            // The synchronization unit serializes atomics (T3).
+            t = std::max(t, atomic_free_);
+            const PhysAddr pa =
+                pte->frame + req.addr % cfg_.page_table.page_size;
+            t = memoryAccess(t, 8, true);
+            const std::uint64_t old = memory_.read64(pa);
+            switch (req.aop) {
+              case AtomicOp::kTestAndSet:
+                memory_.write64(pa, 1);
+                break;
+              case AtomicOp::kStore:
+                memory_.write64(pa, req.arg0);
+                break;
+              case AtomicOp::kFetchAdd:
+                memory_.write64(pa, old + req.arg0);
+                break;
+              case AtomicOp::kCompareSwap:
+                if (old == req.arg0)
+                    memory_.write64(pa, req.arg1);
+                break;
+            }
+            inflight.atomic_result = old;
+            atomic_free_ = t;
+        }
+        break;
+      }
+      case MsgType::kFence: {
+        stats_.fences++;
+        // Block until every inflight op completes, and gate later
+        // arrivals until then (T3).
+        t = std::max(t, last_op_done_);
+        gate_open_ = std::max(gate_open_, t);
+        break;
+      }
+      default:
+        clio_panic("non-fast-path type in fastPathPacket");
+    }
+
+    inflight.status = status;
+    inflight.done = std::max(inflight.done, t);
+}
+
+Tick
+CBoard::serviceFastPath(const RequestMsg &req, Tick ready,
+                        ResponseMsg &resp)
+{
+    // Whole-request variant used by the on-board traffic generator
+    // (Fig. 9) and unit tests: same logic as the per-packet path, with
+    // the full payload as one unit.
+    const FastPathConfig &fp = cfg_.fast_path;
+    // Payload crosses the datapath once in either direction (write
+    // ingress or read-response egress).
+    const std::uint64_t wire = req.size + kPacketHeaderBytes;
+    Tick t = std::max(ready, gate_open_);
+    const std::uint64_t words = std::max<std::uint64_t>(
+        1, (wire + datapathBytes() - 1) / datapathBytes());
+    t = std::max(t, pipeline_free_);
+    pipeline_free_ = t + words * fp.cycle;
+    t += words * fp.cycle + fp.parse_cycles * fp.cycle;
+
+    Status status = Status::kOk;
+    const std::uint64_t page_size = cfg_.page_table.page_size;
+    switch (req.type) {
+      case MsgType::kRead: {
+        stats_.reads++;
+        stats_.bytes_read += req.size;
+        resp.data.resize(req.size);
+        VirtAddr va = req.addr;
+        std::uint64_t len = req.size;
+        std::uint8_t *dst = resp.data.data();
+        while (len > 0 && status == Status::kOk) {
+            const std::uint64_t in_page = va % page_size;
+            const std::uint64_t n = std::min(len, page_size - in_page);
+            auto pte = translateOne(req.pid, va, false, t, status);
+            if (pte) {
+                memory_.read(pte->frame + in_page, dst, n);
+                t = memoryAccess(t, n, false);
+            }
+            va += n;
+            dst += n;
+            len -= n;
+        }
+        break;
+      }
+      case MsgType::kWrite: {
+        stats_.writes++;
+        stats_.bytes_written += req.size;
+        VirtAddr va = req.addr;
+        std::uint64_t len = req.size;
+        const std::uint8_t *src = req.data.data();
+        while (len > 0 && status == Status::kOk) {
+            const std::uint64_t in_page = va % page_size;
+            const std::uint64_t n = std::min(len, page_size - in_page);
+            auto pte = translateOne(req.pid, va, true, t, status);
+            if (pte) {
+                memory_.write(pte->frame + in_page, src, n);
+                t = memoryAccess(t, n, true);
+            }
+            va += n;
+            src += n;
+            len -= n;
+        }
+        break;
+      }
+      default:
+        clio_panic("serviceFastPath supports read/write only");
+    }
+    resp.req_id = req.req_id;
+    resp.status = status;
+    t += fp.respond_cycles * fp.cycle;
+    last_op_done_ = std::max(last_op_done_, t);
+    return t;
+}
+
+// ---------------------------------------------------------------------
+// Page-fault physical frames (async buffer, §4.3)
+// ---------------------------------------------------------------------
+
+void
+CBoard::maybeScheduleRefill()
+{
+    if (refill_pending_)
+        return;
+    if (async_buffer_.size() * 2 >= reserve_cap_)
+        return;
+    if (frames_.freeFrames() == 0)
+        return;
+    refill_pending_ = true;
+    const std::uint32_t batch = std::min<std::uint32_t>(
+        reserve_cap_ - async_buffer_.size(),
+        static_cast<std::uint32_t>(frames_.freeFrames()));
+    // The ARM pre-generates `batch` frames in the background; the
+    // refill reaches the hardware FIFO through the FPGA<->ARM
+    // interconnect (§4.3 — the latency the buffer exists to hide).
+    const Tick done = eq_.now() + cfg_.slow_path.interconnect_crossing +
+                      cfg_.slow_path.palloc_per_page * batch;
+    refill_done_ = done;
+    eq_.schedule(done, [this, batch] {
+        refill_pending_ = false;
+        for (std::uint32_t i = 0; i < batch; i++) {
+            if (async_buffer_.size() >= reserve_cap_)
+                break;
+            auto frame = frames_.allocate();
+            if (!frame)
+                break;
+            async_buffer_.push(*frame);
+        }
+        maybeScheduleRefill();
+    });
+}
+
+std::optional<PhysAddr>
+CBoard::popFreeFrame(Tick &t)
+{
+    auto frame = async_buffer_.pop();
+    if (frame) {
+        maybeScheduleRefill();
+        return frame;
+    }
+    // Buffer ran dry: the faulting request waits for the background
+    // refill (this should be rare — the refill throughput exceeds
+    // line rate in the paper's design).
+    auto direct = frames_.allocate();
+    if (!direct)
+        return std::nullopt; // physical memory exhausted
+    maybeScheduleRefill();
+    t = std::max(t, refill_pending_
+                        ? refill_done_
+                        : t + cfg_.slow_path.interconnect_crossing +
+                              cfg_.slow_path.palloc_per_page);
+    return direct;
+}
+
+// ---------------------------------------------------------------------
+// Slow path (ARM): allocation / free
+// ---------------------------------------------------------------------
+
+Tick
+CBoard::slowPathAlloc(ProcId pid, std::uint64_t size, std::uint8_t perm,
+                      ResponseMsg &resp, bool populate)
+{
+    if (windowed_mode_ && valloc_.windowBytes(pid) == 0 &&
+        window_request_) {
+        // First allocation of this process on this MN: get windows
+        // from the global controller (§4.7).
+        window_request_(pid, size);
+    }
+    auto res = valloc_.allocate(pid, size, perm, page_table_);
+    if (!res && window_request_ && window_request_(pid, size))
+        res = valloc_.allocate(pid, size, perm, page_table_);
+    if (!res) {
+        stats_.out_of_memory++;
+        resp.status = Status::kOutOfMemory;
+        return cfg_.slow_path.valloc_base;
+    }
+    for (auto vpn : res->vpns)
+        page_table_.insert(pid, vpn, perm);
+    Tick cost = cfg_.slow_path.valloc_base +
+                cfg_.slow_path.valloc_per_page * res->vpns.size() +
+                cfg_.slow_path.valloc_retry * res->retries;
+    if (populate) {
+        // Eagerly bind physical frames (Clio-Alloc-Phys in Fig. 12).
+        for (auto vpn : res->vpns) {
+            auto frame = frames_.allocate();
+            if (!frame) {
+                resp.status = Status::kOutOfMemory;
+                // Roll back bindings is unnecessary: faulting later
+                // pages on demand is still correct.
+                break;
+            }
+            page_table_.bindFrame(pid, vpn, *frame);
+            cost += cfg_.slow_path.palloc_per_page;
+        }
+    }
+    stats_.allocs++;
+    stats_.alloc_retries += res->retries;
+    resp.status = Status::kOk;
+    resp.value = res->addr;
+    return cost;
+}
+
+Tick
+CBoard::slowPathFree(ProcId pid, VirtAddr addr, ResponseMsg &resp)
+{
+    auto res = valloc_.free(pid, addr);
+    if (!res) {
+        resp.status = Status::kBadAddress;
+        return cfg_.slow_path.valloc_base / 2;
+    }
+    for (auto vpn : res->vpns) {
+        Pte pte = page_table_.remove(pid, vpn);
+        if (pte.present)
+            frames_.free(pte.frame);
+        tlb_.invalidate(pid, vpn);
+    }
+    stats_.frees++;
+    resp.status = Status::kOk;
+    return cfg_.slow_path.valloc_base / 2 +
+           cfg_.slow_path.vfree_per_page * res->vpns.size();
+}
+
+void
+CBoard::slowPathPacket(const Packet &pkt)
+{
+    auto req = std::static_pointer_cast<const RequestMsg>(pkt.msg);
+    const FastPathConfig &fp = cfg_.fast_path;
+
+    // Ingress + MAT + crossing to the ARM; one polling worker at a
+    // time (the dedicated polling core hands tasks to workers, §5).
+    Tick t = eq_.now() + fp.mac_latency + fp.parse_cycles * fp.cycle +
+             cfg_.slow_path.interconnect_crossing;
+    t = std::max(t, std::max(arm_free_, gate_open_));
+
+    auto resp = std::make_shared<ResponseMsg>();
+    resp->req_id = req->req_id;
+    Tick cost = 0;
+    if (req->type == MsgType::kAlloc) {
+        cost = slowPathAlloc(req->pid, req->size, req->perm, *resp,
+                             req->populate);
+    } else {
+        cost = slowPathFree(req->pid, req->addr, *resp);
+    }
+    t += cost;
+    arm_free_ = t;
+
+    // Crossing back + response emission.
+    t += cfg_.slow_path.interconnect_crossing +
+         fp.respond_cycles * fp.cycle + fp.mac_latency;
+    last_op_done_ = std::max(last_op_done_, t);
+    respondAt(t, req->src, req->req_id, std::move(resp));
+}
+
+// ---------------------------------------------------------------------
+// Extend path (offloads, §4.6)
+// ---------------------------------------------------------------------
+
+ProcId
+CBoard::registerOffload(std::uint32_t offload_id,
+                        std::shared_ptr<Offload> offload)
+{
+    const ProcId pid = next_offload_pid_++;
+    registerOffloadShared(offload_id, std::move(offload), pid);
+    return pid;
+}
+
+void
+CBoard::registerOffloadShared(std::uint32_t offload_id,
+                              std::shared_ptr<Offload> offload,
+                              ProcId pid)
+{
+    clio_assert(!offloads_.count(offload_id),
+                "offload id %u already registered", offload_id);
+    auto [it, inserted] = offloads_.emplace(
+        offload_id, OffloadEntry{std::move(offload), pid, 0});
+    // Deployment-time initialization (not on the request path).
+    OffloadVm vm(*this, pid);
+    it->second.offload->init(vm);
+}
+
+void
+CBoard::extendPathPacket(const Packet &pkt)
+{
+    auto &inflight = inflight_[pkt.req_id];
+    if (inflight.total_parts == 0) {
+        inflight.total_parts = pkt.total_parts;
+        inflight.req = std::static_pointer_cast<const RequestMsg>(pkt.msg);
+    }
+    inflight.parts_seen++;
+    inflight.last_seen = eq_.now();
+    const FastPathConfig &fp = cfg_.fast_path;
+    Tick t = eq_.now() + fp.mac_latency;
+    const std::uint64_t words = std::max<std::uint64_t>(
+        1, (pkt.wire_bytes + datapathBytes() - 1) / datapathBytes());
+    t = std::max(t, pipeline_free_);
+    pipeline_free_ = t + words * fp.cycle;
+    t += words * fp.cycle + fp.parse_cycles * fp.cycle;
+    inflight.done = std::max(inflight.done, t);
+
+    if (inflight.parts_seen < inflight.total_parts)
+        return;
+
+    const auto &req = *inflight.req;
+    auto resp = std::make_shared<ResponseMsg>();
+    resp->req_id = req.req_id;
+    Tick done = std::max(inflight.done, gate_open_);
+
+    auto it = offloads_.find(req.offload_id);
+    if (it == offloads_.end()) {
+        resp->status = Status::kOffloadError;
+    } else {
+        stats_.offload_calls++;
+        OffloadEntry &entry = it->second;
+        done = std::max(done, entry.engine_free);
+        // Dedup for offloads with side effects (treated like atomics).
+        if (auto cached = dedup_.find(req.orig_req_id)) {
+            dedup_.noteSuppressed();
+            resp->status = Status::kOk;
+            resp->value = *cached;
+        } else {
+            OffloadVm vm(*this, entry.pid);
+            OffloadResult result =
+                entry.offload->invoke(vm, req.offload_arg);
+            done += vm.cost();
+            resp->status = result.status;
+            resp->data = std::move(result.data);
+            resp->value = result.value;
+            if (result.status == Status::kOk)
+                dedup_.record(req.orig_req_id, result.value);
+        }
+        entry.engine_free = done;
+    }
+
+    done += fp.respond_cycles * fp.cycle + fp.mac_latency;
+    last_op_done_ = std::max(last_op_done_, done);
+    respondAt(done, req.src, req.req_id, std::move(resp));
+    inflight_.erase(pkt.req_id);
+}
+
+Tick
+CBoard::invokeOffloadLocal(std::uint32_t offload_id,
+                           const std::vector<std::uint8_t> &arg,
+                           OffloadResult &result)
+{
+    auto it = offloads_.find(offload_id);
+    if (it == offloads_.end()) {
+        result.status = Status::kOffloadError;
+        return 0;
+    }
+    stats_.offload_calls++;
+    OffloadVm vm(*this, it->second.pid);
+    result = it->second.offload->invoke(vm, arg);
+    return vm.cost();
+}
+
+Tick
+CBoard::vmAccess(ProcId pid, VirtAddr addr, void *buf, std::uint64_t len,
+                 bool is_write, Tick start)
+{
+    Tick t = std::max(start, eq_.now());
+    Status status = Status::kOk;
+    const std::uint64_t page_size = cfg_.page_table.page_size;
+    VirtAddr va = addr;
+    std::uint64_t remaining = len;
+    auto *cursor = static_cast<std::uint8_t *>(buf);
+    while (remaining > 0) {
+        const std::uint64_t in_page = va % page_size;
+        const std::uint64_t n = std::min(remaining, page_size - in_page);
+        auto pte = translateOne(pid, va, is_write, t, status);
+        if (!pte)
+            return kTickMax;
+        if (is_write) {
+            memory_.write(pte->frame + in_page, cursor, n);
+            stats_.bytes_written += n;
+        } else {
+            memory_.read(pte->frame + in_page, cursor, n);
+            stats_.bytes_read += n;
+        }
+        t = memoryAccess(t, n, is_write);
+        va += n;
+        cursor += n;
+        remaining -= n;
+    }
+    return t;
+}
+
+// ---------------------------------------------------------------------
+// Misc
+// ---------------------------------------------------------------------
+
+void
+CBoard::respondAt(Tick when, NodeId dst, ReqId req_id,
+                  std::shared_ptr<ResponseMsg> resp)
+{
+    const std::uint64_t payload = resp->data.size();
+    const MsgType type = resp->status == Status::kCorrupt
+                             ? MsgType::kNack
+                             : MsgType::kResponse;
+    sendSplit(eq_, net_, std::max(when, eq_.now()), node_, dst, req_id,
+              type, payload, std::move(resp));
+}
+
+double
+CBoard::memoryPressure() const
+{
+    return frames_.utilization();
+}
+
+void
+CBoard::destroyProcess(ProcId pid)
+{
+    // Reclaim every PTE and bound frame of the process, then drop its
+    // allocator state. Teardown is not performance critical, so a
+    // linear table sweep is fine.
+    page_table_.removeAllOfPid(pid, [this](const Pte &pte) {
+        if (pte.present)
+            frames_.free(pte.frame);
+    });
+    tlb_.invalidateProcess(pid);
+    valloc_.removeProcess(pid);
+}
+
+std::uint64_t
+CBoard::datapathBytes() const
+{
+    return cfg_.fast_path.datapath_bits / 8;
+}
+
+// ---------------------------------------------------------------------
+// OffloadVm
+// ---------------------------------------------------------------------
+
+OffloadVm::OffloadVm(CBoard &board, ProcId pid) : board_(board), pid_(pid)
+{
+}
+
+VirtAddr
+OffloadVm::alloc(std::uint64_t size, std::uint8_t perm)
+{
+    ResponseMsg resp;
+    const Tick cost = board_.slowPathAlloc(pid_, size, perm, resp);
+    // Control-path hop to the ARM and back (§4.6: offload control
+    // paths run on the ARM, data paths on the FPGA).
+    cost_ += cost + board_.cfg_.slow_path.interconnect_crossing;
+    return resp.status == Status::kOk ? resp.value : 0;
+}
+
+bool
+OffloadVm::free(VirtAddr addr)
+{
+    ResponseMsg resp;
+    const Tick cost = board_.slowPathFree(pid_, addr, resp);
+    cost_ += cost + board_.cfg_.slow_path.interconnect_crossing;
+    return resp.status == Status::kOk;
+}
+
+bool
+OffloadVm::read(VirtAddr addr, void *dst, std::uint64_t len)
+{
+    // The invocation's logical clock runs `cost_` ahead of the
+    // simulation clock; resources (DRAM occupancy) are shared in
+    // absolute time.
+    const Tick start = board_.eq_.now() + cost_;
+    const Tick done = board_.vmAccess(pid_, addr, dst, len, false, start);
+    if (done == kTickMax)
+        return false;
+    cost_ = done - board_.eq_.now();
+    return true;
+}
+
+bool
+OffloadVm::write(VirtAddr addr, const void *src, std::uint64_t len)
+{
+    const Tick start = board_.eq_.now() + cost_;
+    const Tick done = board_.vmAccess(
+        pid_, addr, const_cast<void *>(src), len, true, start);
+    if (done == kTickMax)
+        return false;
+    cost_ = done - board_.eq_.now();
+    return true;
+}
+
+std::optional<std::uint64_t>
+OffloadVm::read64(VirtAddr addr)
+{
+    std::uint64_t value = 0;
+    if (!read(addr, &value, sizeof(value)))
+        return std::nullopt;
+    return value;
+}
+
+bool
+OffloadVm::write64(VirtAddr addr, std::uint64_t value)
+{
+    return write(addr, &value, sizeof(value));
+}
+
+void
+OffloadVm::chargeCycles(std::uint64_t cycles)
+{
+    cost_ += cycles * board_.cfg_.fast_path.cycle;
+}
+
+} // namespace clio

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * CBoard: the Clio memory node device (§3.2, §4, Fig. 3).
+ *
+ * One CBoard combines:
+ *  - a hardware *fast path* (modeled ASIC/FPGA pipeline) that serves
+ *    every data access: MAT routing, TLB + hash-page-table translation,
+ *    permission check, bounded-cycle page-fault handling, DRAM access,
+ *    and response generation. The pipeline is smooth (II = 1): its
+ *    occupancy is one datapath word per cycle, and its latency per
+ *    request is a bounded, known number of cycles plus at most one
+ *    DRAM access for translation;
+ *  - a software *slow path* (modeled ARM SoC) that owns metadata:
+ *    VA allocation (overflow-free, with retries), VA free, physical
+ *    page pre-generation into the async buffer, and shadow copies;
+ *  - an *extend path* hosting application offloads (§4.6);
+ *  - the two pieces of bounded state the paper allows the MN: the
+ *    dedup buffer for retried non-idempotent requests (T4) and the
+ *    synchronization unit for rlock/rfence (T3).
+ *
+ * Correctness-affecting operations mutate functional state (real bytes
+ * in PhysicalMemory) at packet-arrival order, while the timing model
+ * computes when the response is emitted; CLib's ordering layer (T2)
+ * guarantees no two dependent requests are concurrently outstanding,
+ * which makes this split sound.
+ */
+
+#ifndef CLIO_CBOARD_CBOARD_HH
+#define CLIO_CBOARD_CBOARD_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cboard/dedup_buffer.hh"
+#include "cboard/offload.hh"
+#include "mem/frame_allocator.hh"
+#include "mem/physical_memory.hh"
+#include "net/network.hh"
+#include "pagetable/hash_page_table.hh"
+#include "pagetable/tlb.hh"
+#include "proto/messages.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "valloc/va_allocator.hh"
+
+namespace clio {
+
+/** Counters exported by one CBoard. */
+struct CBoardStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t atomics = 0;
+    std::uint64_t fences = 0;
+    std::uint64_t allocs = 0;
+    std::uint64_t frees = 0;
+    std::uint64_t offload_calls = 0;
+    std::uint64_t page_faults = 0;
+    std::uint64_t nacks_sent = 0;
+    std::uint64_t bad_address = 0;
+    std::uint64_t perm_denied = 0;
+    std::uint64_t out_of_memory = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+    std::uint64_t alloc_retries = 0;
+};
+
+/** The hardware memory node. */
+class CBoard
+{
+  public:
+    /**
+     * Create a CBoard attached to `network`.
+     * @param phys_bytes on-board DRAM capacity (0 = cfg.mn_phys_bytes).
+     */
+    CBoard(EventQueue &eq, Network &network, const ModelConfig &cfg,
+           std::uint64_t phys_bytes = 0);
+
+    NodeId nodeId() const { return node_; }
+
+    /** @{ Component access for tests, benches, and the controller. */
+    HashPageTable &pageTable() { return page_table_; }
+    Tlb &tlb() { return tlb_; }
+    FrameAllocator &frames() { return frames_; }
+    PhysicalMemory &memory() { return memory_; }
+    VaAllocator &vaAllocator() { return valloc_; }
+    DedupBuffer &dedupBuffer() { return dedup_; }
+    const CBoardStats &stats() const { return stats_; }
+    const ModelConfig &config() const { return cfg_; }
+    /** @} */
+
+    /**
+     * Deploy an offload under `offload_id`; it gets a fresh PID and
+     * empty RAS. @return the offload's PID.
+     */
+    ProcId registerOffload(std::uint32_t offload_id,
+                           std::shared_ptr<Offload> offload);
+
+    /**
+     * Register an offload that *shares* an existing address space
+     * (Clio-DF style: CN computation and MN offloads on one RAS, §6).
+     */
+    void registerOffloadShared(std::uint32_t offload_id,
+                               std::shared_ptr<Offload> offload,
+                               ProcId pid);
+
+    /** Fraction of physical frames in use (controller pressure input,
+     * §4.7); counts frames reserved in the async buffer as used. */
+    double memoryPressure() const;
+
+    /**
+     * Controller hook invoked when a process' VA windows on this MN
+     * cannot fit an allocation; should add windows (via vaAllocator())
+     * and return true to make the slow path retry once.
+     */
+    void
+    setWindowRequestHook(
+        std::function<bool(ProcId, std::uint64_t)> hook)
+    {
+        window_request_ = std::move(hook);
+    }
+
+    /**
+     * Windowed mode (multi-MN clusters): every process must allocate
+     * inside controller-assigned windows, so VAs handed out by
+     * different MNs never collide. The window hook is consulted up
+     * front for processes with no windows yet.
+     */
+    void setWindowedMode(bool on) { windowed_mode_ = on; }
+
+    /**
+     * Fast-path timing for one request, bypassing the network — used
+     * by the on-board traffic generator bench (Fig. 9) and by offload
+     * cost accounting. Mutates functional state exactly like a network
+     * request would.
+     *
+     * @param ready tick at which the request is at the pipeline head.
+     * @param[out] resp filled with status/data/value.
+     * @return tick at which the fast path completes the request.
+     */
+    Tick serviceFastPath(const RequestMsg &req, Tick ready,
+                         ResponseMsg &resp);
+
+    /** @{ Direct slow-path entry points (no network), used by offloads
+     * and by the cluster controller during setup/migration. The Tick
+     * return is the modeled processing cost (not including the
+     * interconnect crossings a network request would pay).
+     * @param populate bind physical frames eagerly (Fig. 12's
+     *        Clio-Alloc-Phys series). */
+    Tick slowPathAlloc(ProcId pid, std::uint64_t size, std::uint8_t perm,
+                       ResponseMsg &resp, bool populate = false);
+    Tick slowPathFree(ProcId pid, VirtAddr addr, ResponseMsg &resp);
+    /** @} */
+
+    /** Functional (zero-time) read through the page table; used when
+     * assembling a read response and by tests. False on fault. */
+    bool readFunctional(ProcId pid, VirtAddr va, void *dst,
+                        std::uint64_t len);
+
+    /** Invoke a registered offload directly (no network) — the
+     * developer-simulator path (§5) and offload unit tests.
+     * @return modeled device time of the invocation. */
+    Tick invokeOffloadLocal(std::uint32_t offload_id,
+                            const std::vector<std::uint8_t> &arg,
+                            OffloadResult &result);
+
+    /** Tear down a process: drop VA state, PTEs, frames, TLB entries. */
+    void destroyProcess(ProcId pid);
+
+    /** Offload VM access used by OffloadVm (translate + move bytes).
+     * @param start the offload's logical time (>= now; an invocation
+     *        accumulates cost ahead of the simulation clock).
+     * @return completion tick, or kTickMax on fault. */
+    Tick vmAccess(ProcId pid, VirtAddr addr, void *buf, std::uint64_t len,
+                  bool is_write, Tick start);
+
+  private:
+    friend class OffloadVm;
+
+    /** Per-inflight-request reassembly/completion state. */
+    struct Inflight
+    {
+        std::uint32_t parts_seen = 0;
+        std::uint32_t total_parts = 0;
+        /** Max completion tick over per-packet processing. */
+        Tick done = 0;
+        /** Set when any part failed translation/permission. */
+        Status status = Status::kOk;
+        /** Duplicate write suppressed by the dedup buffer. */
+        bool suppressed = false;
+        /** Old value returned by an atomic. */
+        std::uint64_t atomic_result = 0;
+        /** Arrival tick of the most recent packet: an abandoned
+         * request (remaining packets lost, client retried under a new
+         * id) stops receiving packets, which is what the GC keys on.
+         * Long multi-packet transfers keep refreshing it. */
+        Tick last_seen = 0;
+        std::shared_ptr<const RequestMsg> req;
+    };
+
+    /** Sweep inflight entries abandoned for longer than ~10x a client
+     * timeout (their packets were lost; the client retried with a new
+     * id). Runs opportunistically every few thousand packets. */
+    void gcInflight();
+
+    /** Ingress from the network. */
+    void onPacket(Packet pkt);
+
+    /** Handle one fast-path packet (read/write slice/atomic/fence). */
+    void fastPathPacket(const Packet &pkt, Inflight &inflight);
+
+    /** Translate one VA; handles TLB, page fault, permission.
+     * @return PTE copy, or nullopt with `status` set; advances `t` by
+     * the modeled translation time. */
+    std::optional<Pte> translateOne(ProcId pid, VirtAddr va,
+                                    bool is_write, Tick &t,
+                                    Status &status);
+
+    /** Charge one DRAM access of `bytes` at tick `t` (DMA setup +
+     * latency + bandwidth occupancy); returns the completion tick. */
+    Tick memoryAccess(Tick t, std::uint64_t bytes, bool is_write);
+
+    /** Fast-path datapath width in bytes. */
+    std::uint64_t datapathBytes() const;
+
+    /** Handle a slow-path request (alloc/free) end to end. */
+    void slowPathPacket(const Packet &pkt);
+
+    /** Handle an extend-path (offload) request. */
+    void extendPathPacket(const Packet &pkt);
+
+    /** Send a response message back to `dst` at tick `when`. */
+    void respondAt(Tick when, NodeId dst, ReqId req_id,
+                   std::shared_ptr<ResponseMsg> resp);
+
+    /** Schedule an async-buffer refill if one is not already pending. */
+    void maybeScheduleRefill();
+
+    /** Pop a pre-generated frame for a page fault; sets `t` to when a
+     * frame is available (waits for refill when dry). Returns nullopt
+     * only when physical memory is truly exhausted. */
+    std::optional<PhysAddr> popFreeFrame(Tick &t);
+
+    EventQueue &eq_;
+    Network &net_;
+    ModelConfig cfg_;
+    NodeId node_;
+
+    PhysicalMemory memory_;
+    FrameAllocator frames_;
+    HashPageTable page_table_;
+    Tlb tlb_;
+    VaAllocator valloc_;
+    DedupBuffer dedup_;
+    AsyncFreePageBuffer async_buffer_;
+
+    /** @{ Resource-occupancy watermarks (timing model). */
+    Tick pipeline_free_ = 0;  ///< fast-path pipeline (II=1 occupancy)
+    Tick dram_free_ = 0;      ///< DRAM bandwidth occupancy
+    Tick atomic_free_ = 0;    ///< synchronization unit serialization
+    Tick arm_free_ = 0;       ///< slow-path ARM worker serialization
+    Tick gate_open_ = 0;      ///< rfence gate: ops start after this
+    Tick last_op_done_ = 0;   ///< watermark of latest op completion
+    /** @} */
+
+    /** Async-buffer refill bookkeeping. */
+    bool refill_pending_ = false;
+    Tick refill_done_ = 0;
+    /** Max frames the buffer reserves (≤ capacity; bounded by a
+     * quarter of physical memory for small configurations). */
+    std::uint32_t reserve_cap_ = 0;
+
+    std::unordered_map<ReqId, Inflight> inflight_;
+    std::uint64_t packets_since_gc_ = 0;
+
+    struct OffloadEntry
+    {
+        std::shared_ptr<Offload> offload;
+        ProcId pid;
+        Tick engine_free = 0; ///< per-offload engine serialization
+    };
+    std::unordered_map<std::uint32_t, OffloadEntry> offloads_;
+    ProcId next_offload_pid_ = 0xF0000000;
+
+    std::function<bool(ProcId, std::uint64_t)> window_request_;
+    bool windowed_mode_ = false;
+
+    CBoardStats stats_;
+};
+
+} // namespace clio
+
+#endif // CLIO_CBOARD_CBOARD_HH

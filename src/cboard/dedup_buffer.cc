@@ -1,0 +1,34 @@
+#include "cboard/dedup_buffer.hh"
+
+#include "sim/logging.hh"
+
+namespace clio {
+
+DedupBuffer::DedupBuffer(std::uint32_t capacity) : capacity_(capacity)
+{
+    clio_assert(capacity > 0, "dedup buffer capacity must be nonzero");
+}
+
+void
+DedupBuffer::record(ReqId req_id, std::uint64_t atomic_result)
+{
+    auto [it, inserted] = results_.try_emplace(req_id, atomic_result);
+    if (!inserted)
+        return; // already recorded (e.g. duplicate delivery)
+    fifo_.push_back(req_id);
+    if (fifo_.size() > capacity_) {
+        results_.erase(fifo_.front());
+        fifo_.pop_front();
+    }
+}
+
+std::optional<std::uint64_t>
+DedupBuffer::find(ReqId req_id) const
+{
+    auto it = results_.find(req_id);
+    if (it == results_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+} // namespace clio

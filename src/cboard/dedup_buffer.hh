@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Request-id dedup buffer (§4.5 T4): a small ring recording the ids of
+ * recently executed non-idempotent requests (writes, atomics) and the
+ * cached results of atomics. A retry carries the original attempt's id;
+ * if the MN finds it here, it skips execution and replays the cached
+ * result. Capacity is statically sized from 3 x TIMEOUT x bandwidth —
+ * one of only two pieces of state the MN keeps, independent of client
+ * count.
+ */
+
+#ifndef CLIO_CBOARD_DEDUP_BUFFER_HH
+#define CLIO_CBOARD_DEDUP_BUFFER_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace clio {
+
+/** Ring buffer of executed (write/atomic) request ids + atomic results. */
+class DedupBuffer
+{
+  public:
+    explicit DedupBuffer(std::uint32_t capacity);
+
+    /**
+     * Record an executed non-idempotent request.
+     * @param req_id the ORIGINAL attempt id (retries carry it along).
+     * @param atomic_result cached value for atomics (0 for writes).
+     */
+    void record(ReqId req_id, std::uint64_t atomic_result = 0);
+
+    /**
+     * Check whether `req_id` was already executed.
+     * @return the cached atomic result when found; nullopt otherwise.
+     */
+    std::optional<std::uint64_t> find(ReqId req_id) const;
+
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint32_t size() const {
+        return static_cast<std::uint32_t>(fifo_.size());
+    }
+
+    /** Suppressed duplicate executions (stat). */
+    std::uint64_t suppressed() const { return suppressed_; }
+    void noteSuppressed() { suppressed_++; }
+
+  private:
+    std::uint32_t capacity_;
+    /** Insertion order for ring eviction. */
+    std::deque<ReqId> fifo_;
+    std::unordered_map<ReqId, std::uint64_t> results_;
+    std::uint64_t suppressed_ = 0;
+};
+
+} // namespace clio
+
+#endif // CLIO_CBOARD_DEDUP_BUFFER_HH

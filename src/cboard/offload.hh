@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Extend-path computation offloading framework (§4.6).
+ *
+ * An Offload is application logic deployed on the CBoard (FPGA or ARM
+ * in the paper). Each offload gets its own global PID and remote
+ * virtual address space and accesses on-board memory through the same
+ * virtual memory interface CN applications use — that is the paper's
+ * key ergonomic claim. The VmView passed to an invocation provides
+ * that interface and accounts the modeled device time the offload
+ * spends (translations, DRAM accesses, compute cycles).
+ */
+
+#ifndef CLIO_CBOARD_OFFLOAD_HH
+#define CLIO_CBOARD_OFFLOAD_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pagetable/pte.hh"
+#include "proto/messages.hh"
+#include "sim/types.hh"
+
+namespace clio {
+
+class CBoard;
+
+/**
+ * Virtual-memory window an offload invocation runs against.
+ *
+ * All accesses are in the offload's own RAS (or a CN process' RAS when
+ * the offload was registered to share one, like Clio-DF's operators,
+ * §6). Accesses translate through the board's TLB/page table and touch
+ * the board DRAM, accumulating modeled time in cost().
+ */
+class OffloadVm
+{
+  public:
+    OffloadVm(CBoard &board, ProcId pid);
+
+    /** Allocate remote virtual memory (slow-path, on-board: no
+     * network round trip). Returns 0 on failure. */
+    VirtAddr alloc(std::uint64_t size, std::uint8_t perm = kPermReadWrite);
+
+    /** Free an allocation made with alloc(). */
+    bool free(VirtAddr addr);
+
+    /** Read bytes from the offload's RAS; false on translation or
+     * permission failure. */
+    bool read(VirtAddr addr, void *dst, std::uint64_t len);
+
+    /** Write bytes into the offload's RAS. */
+    bool write(VirtAddr addr, const void *src, std::uint64_t len);
+
+    /** @{ Typed convenience accessors. */
+    std::optional<std::uint64_t> read64(VirtAddr addr);
+    bool write64(VirtAddr addr, std::uint64_t value);
+    /** @} */
+
+    /** Charge `cycles` of FPGA compute (e.g. per-element processing). */
+    void chargeCycles(std::uint64_t cycles);
+
+    /** Modeled device time consumed so far by this invocation. */
+    Tick cost() const { return cost_; }
+
+    ProcId pid() const { return pid_; }
+
+  private:
+    friend class CBoard;
+    CBoard &board_;
+    ProcId pid_;
+    Tick cost_ = 0;
+};
+
+/** Result of one offload invocation. */
+struct OffloadResult
+{
+    Status status = Status::kOk;
+    std::vector<std::uint8_t> data;
+    std::uint64_t value = 0;
+};
+
+/** Interface implemented by application offloads (radix-tree pointer
+ * chaser, Clio-KV, Clio-MV, Clio-DF operators, ...). */
+class Offload
+{
+  public:
+    virtual ~Offload() = default;
+
+    /** One-time setup when deployed on a board (allocate and
+     * initialize the offload's data structures in its RAS). */
+    virtual void init(OffloadVm &vm) { (void)vm; }
+
+    /**
+     * Handle one invocation.
+     * @param vm  the offload's virtual memory view (cost accumulator).
+     * @param arg opaque argument bytes from the client.
+     */
+    virtual OffloadResult invoke(OffloadVm &vm,
+                                 const std::vector<std::uint8_t> &arg) = 0;
+};
+
+} // namespace clio
+
+#endif // CLIO_CBOARD_OFFLOAD_HH

@@ -1,0 +1,465 @@
+#include "clib/client.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace clio {
+
+namespace {
+/** Page size used for dependency tracking; must match the MN page
+ * size for exactness but only affects false-positive granularity. */
+constexpr std::uint64_t kTrackPage = 4 * MiB;
+} // namespace
+
+ClioClient::ClioClient(CNode &cn, ProcId pid, NodeId home_mn)
+    : cn_(cn), pid_(pid), home_mn_(home_mn)
+{
+}
+
+void
+ClioClient::noteRegion(VirtAddr addr, std::uint64_t size, NodeId mn)
+{
+    regions_[addr] = {size, mn};
+}
+
+NodeId
+ClioClient::mnFor(VirtAddr addr) const
+{
+    auto next = regions_.upper_bound(addr);
+    if (next != regions_.begin()) {
+        const auto &[start, entry] = *std::prev(next);
+        if (addr >= start && addr < start + entry.first)
+            return entry.second;
+    }
+    return home_mn_;
+}
+
+void
+ClioClient::copyRoutingFrom(const ClioClient &other)
+{
+    clio_assert(pid_ == other.pid_,
+                "routing can only be shared within one RAS (same PID)");
+    regions_ = other.regions_;
+    alloc_sizes_ = other.alloc_sizes_;
+}
+
+void
+ClioClient::redirectRegion(VirtAddr start, std::uint64_t length,
+                           NodeId mn)
+{
+    // Update every fine-grained routing entry inside the region, then
+    // make sure the coarse range itself resolves to the new MN.
+    for (auto it = regions_.lower_bound(start);
+         it != regions_.end() && it->first < start + length; ++it) {
+        it->second.second = mn;
+    }
+    regions_.try_emplace(start, std::make_pair(length, mn));
+}
+
+// ---------------------------------------------------------------------
+// Ordering layer (T2)
+// ---------------------------------------------------------------------
+
+bool
+ClioClient::conflicts(const Footprint &a, const Footprint &b)
+{
+    if (a.barrier || b.barrier)
+        return true;
+    if (!a.is_write && !b.is_write)
+        return false; // RAR never conflicts
+    return a.first_vpn <= b.last_vpn && b.first_vpn <= a.last_vpn;
+}
+
+HandlePtr
+ClioClient::submit(Op op)
+{
+    op.op_seq = next_op_seq_++;
+    HandlePtr handle = op.handle;
+    // Blocked iff it conflicts with a queued or inflight op.
+    // Independent ops may overtake the queue (release order allows
+    // out-of-order execution of non-dependent requests).
+    bool blocked = false;
+    for (const auto &queued : pending_) {
+        if (conflicts(op.fp, queued.fp)) {
+            blocked = true;
+            break;
+        }
+    }
+    if (!blocked) {
+        for (const auto &[seq, inflight_op] : inflight_) {
+            if (conflicts(op.fp, inflight_op.fp)) {
+                blocked = true;
+                break;
+            }
+        }
+    }
+    if (blocked) {
+        stats_.ordering_stalls++;
+        pending_.push_back(std::move(op));
+    } else {
+        issueNow(std::move(op));
+    }
+    return handle;
+}
+
+void
+ClioClient::issueNow(Op op)
+{
+    const std::uint64_t seq = op.op_seq;
+    auto req = op.req;
+    const std::uint64_t expected = op.expected_resp_bytes;
+    inflight_.emplace(seq, std::move(op));
+    cn_.issue(std::move(req), expected,
+              [this, seq](Status status,
+                          const std::vector<std::uint8_t> &data,
+                          std::uint64_t value) {
+                  onComplete(seq, status, data, value);
+              });
+}
+
+void
+ClioClient::onComplete(std::uint64_t op_seq, Status status,
+                       const std::vector<std::uint8_t> &data,
+                       std::uint64_t value)
+{
+    auto it = inflight_.find(op_seq);
+    clio_assert(it != inflight_.end(), "completion for unknown op");
+    Op op = std::move(it->second);
+    inflight_.erase(it);
+
+    op.handle->status = status;
+    op.handle->value = value;
+    if (op.read_buf && status == Status::kOk) {
+        std::memcpy(op.read_buf, data.data(),
+                    std::min<std::uint64_t>(data.size(), op.req->size));
+    } else if (!op.read_buf && !data.empty()) {
+        op.handle->data = data; // offload results
+    }
+
+    // Post-processing of metadata ops.
+    if (op.req->type == MsgType::kAlloc && status == Status::kOk) {
+        noteRegion(value, op.req->size, op.req->dst);
+        alloc_sizes_[value] = op.req->size;
+    } else if (op.req->type == MsgType::kFree && status == Status::kOk) {
+        regions_.erase(op.req->addr);
+        alloc_sizes_.erase(op.req->addr);
+    }
+
+    op.handle->done = true;
+    if (op.handle->on_done) {
+        auto hook = std::move(op.handle->on_done);
+        hook();
+    }
+    drainPending();
+}
+
+void
+ClioClient::drainPending()
+{
+    // Issue every queued op whose conflicts (against inflight ops and
+    // *earlier* queued ops) have cleared, preserving order among
+    // dependent requests only.
+    std::vector<Footprint> earlier;
+    earlier.reserve(pending_.size());
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        bool blocked = false;
+        for (const auto &fp : earlier) {
+            if (conflicts(it->fp, fp)) {
+                blocked = true;
+                break;
+            }
+        }
+        if (!blocked) {
+            for (const auto &[seq, inflight_op] : inflight_) {
+                if (conflicts(it->fp, inflight_op.fp)) {
+                    blocked = true;
+                    break;
+                }
+            }
+        }
+        if (blocked) {
+            earlier.push_back(it->fp);
+            ++it;
+        } else {
+            Op op = std::move(*it);
+            it = pending_.erase(it);
+            issueNow(std::move(op));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Asynchronous API
+// ---------------------------------------------------------------------
+
+HandlePtr
+ClioClient::rallocAsync(std::uint64_t size, std::uint8_t perm,
+                        bool populate, NodeId mn_override)
+{
+    stats_.allocs++;
+    const NodeId mn = mn_override
+                          ? mn_override
+                          : (alloc_picker_ ? alloc_picker_(size)
+                                           : home_mn_);
+    auto req = std::make_shared<RequestMsg>();
+    req->type = MsgType::kAlloc;
+    req->pid = pid_;
+    req->dst = mn;
+    req->size = size;
+    req->perm = perm;
+    req->populate = populate;
+    Op op;
+    op.fp = Footprint{0, 0, false, false}; // fresh VAs: no conflicts
+    op.handle = std::make_shared<RequestHandle>();
+    op.req = std::move(req);
+    op.expected_resp_bytes = 0;
+    return submit(std::move(op));
+}
+
+HandlePtr
+ClioClient::rfreeAsync(VirtAddr addr)
+{
+    stats_.frees++;
+    auto req = std::make_shared<RequestMsg>();
+    req->type = MsgType::kFree;
+    req->pid = pid_;
+    req->dst = mnFor(addr);
+    req->addr = addr;
+    std::uint64_t size = kTrackPage;
+    auto it = alloc_sizes_.find(addr);
+    if (it != alloc_sizes_.end())
+        size = it->second;
+    Op op;
+    // A free conflicts with any access to the freed range (§3.1: no
+    // read/write may start until the rfree finishes).
+    op.fp = Footprint{addr / kTrackPage, (addr + size - 1) / kTrackPage,
+                      true, false};
+    op.handle = std::make_shared<RequestHandle>();
+    op.req = std::move(req);
+    return submit(std::move(op));
+}
+
+HandlePtr
+ClioClient::rreadAsync(VirtAddr addr, void *buf, std::uint64_t len)
+{
+    stats_.reads++;
+    auto req = std::make_shared<RequestMsg>();
+    req->type = MsgType::kRead;
+    req->pid = pid_;
+    req->dst = mnFor(addr);
+    req->addr = addr;
+    req->size = len;
+    Op op;
+    op.fp = Footprint{addr / kTrackPage, (addr + len - 1) / kTrackPage,
+                      false, false};
+    op.handle = std::make_shared<RequestHandle>();
+    op.req = std::move(req);
+    op.expected_resp_bytes = len;
+    op.read_buf = buf;
+    return submit(std::move(op));
+}
+
+HandlePtr
+ClioClient::rwriteAsync(VirtAddr addr, const void *src, std::uint64_t len)
+{
+    stats_.writes++;
+    auto req = std::make_shared<RequestMsg>();
+    req->type = MsgType::kWrite;
+    req->pid = pid_;
+    req->dst = mnFor(addr);
+    req->addr = addr;
+    req->size = len;
+    req->data.resize(len);
+    std::memcpy(req->data.data(), src, len);
+    Op op;
+    op.fp = Footprint{addr / kTrackPage, (addr + len - 1) / kTrackPage,
+                      true, false};
+    op.handle = std::make_shared<RequestHandle>();
+    op.req = std::move(req);
+    return submit(std::move(op));
+}
+
+HandlePtr
+ClioClient::atomicAsync(VirtAddr addr, AtomicOp aop, std::uint64_t arg0,
+                        std::uint64_t arg1)
+{
+    stats_.atomics++;
+    auto req = std::make_shared<RequestMsg>();
+    req->type = MsgType::kAtomic;
+    req->pid = pid_;
+    req->dst = mnFor(addr);
+    req->addr = addr;
+    req->size = 8;
+    req->aop = aop;
+    req->arg0 = arg0;
+    req->arg1 = arg1;
+    Op op;
+    op.fp = Footprint{addr / kTrackPage, addr / kTrackPage, true, false};
+    op.handle = std::make_shared<RequestHandle>();
+    op.req = std::move(req);
+    return submit(std::move(op));
+}
+
+HandlePtr
+ClioClient::fenceAsync()
+{
+    stats_.fences++;
+    auto req = std::make_shared<RequestMsg>();
+    req->type = MsgType::kFence;
+    req->pid = pid_;
+    req->dst = home_mn_;
+    Op op;
+    op.fp = Footprint{0, ~0ull, true, true}; // full barrier
+    op.handle = std::make_shared<RequestHandle>();
+    op.req = std::move(req);
+    return submit(std::move(op));
+}
+
+HandlePtr
+ClioClient::offloadAsync(NodeId mn, std::uint32_t offload_id,
+                         std::vector<std::uint8_t> arg,
+                         std::uint64_t expected_resp_bytes)
+{
+    stats_.offloads++;
+    auto req = std::make_shared<RequestMsg>();
+    req->type = MsgType::kOffload;
+    req->pid = pid_;
+    req->dst = mn;
+    req->offload_id = offload_id;
+    req->offload_arg = std::move(arg);
+    Op op;
+    // Offloads act on the offload's own RAS; apps order them with
+    // rpoll when needed.
+    op.fp = Footprint{0, 0, false, false};
+    op.handle = std::make_shared<RequestHandle>();
+    op.req = std::move(req);
+    op.expected_resp_bytes = expected_resp_bytes;
+    return submit(std::move(op));
+}
+
+bool
+ClioClient::rpoll(const std::vector<HandlePtr> &handles)
+{
+    auto all_done = [&handles] {
+        return std::all_of(handles.begin(), handles.end(),
+                           [](const HandlePtr &h) { return h->done; });
+    };
+    const bool ok = cn_.eventQueue().runUntil(all_done);
+    clio_assert(ok, "rpoll: simulation drained with requests pending");
+    return std::all_of(handles.begin(), handles.end(),
+                       [](const HandlePtr &h) {
+                           return h->status == Status::kOk;
+                       });
+}
+
+bool
+ClioClient::rpoll(const HandlePtr &handle)
+{
+    return rpoll(std::vector<HandlePtr>{handle});
+}
+
+void
+ClioClient::rrelease()
+{
+    const bool ok = cn_.eventQueue().runUntil(
+        [this] { return inflight_.empty() && pending_.empty(); });
+    clio_assert(ok, "rrelease: simulation drained with requests pending");
+}
+
+// ---------------------------------------------------------------------
+// Synchronous API
+// ---------------------------------------------------------------------
+
+VirtAddr
+ClioClient::ralloc(std::uint64_t size, std::uint8_t perm, bool populate)
+{
+    auto h = rallocAsync(size, perm, populate);
+    return rpoll(h) ? h->value : 0;
+}
+
+Status
+ClioClient::rfree(VirtAddr addr)
+{
+    auto h = rfreeAsync(addr);
+    rpoll(h);
+    return h->status;
+}
+
+Status
+ClioClient::rread(VirtAddr addr, void *buf, std::uint64_t len)
+{
+    auto h = rreadAsync(addr, buf, len);
+    rpoll(h);
+    return h->status;
+}
+
+Status
+ClioClient::rwrite(VirtAddr addr, const void *src, std::uint64_t len)
+{
+    auto h = rwriteAsync(addr, src, len);
+    rpoll(h);
+    return h->status;
+}
+
+std::optional<std::uint64_t>
+ClioClient::rfaa(VirtAddr addr, std::uint64_t add)
+{
+    auto h = atomicAsync(addr, AtomicOp::kFetchAdd, add);
+    if (!rpoll(h))
+        return std::nullopt;
+    return h->value;
+}
+
+bool
+ClioClient::rlock(VirtAddr lock_addr, std::uint32_t max_spins)
+{
+    Tick backoff = 200 * kNanosecond;
+    for (std::uint32_t spin = 0; spin < max_spins; spin++) {
+        auto h = atomicAsync(lock_addr, AtomicOp::kTestAndSet);
+        if (!rpoll(h))
+            return false;
+        if (h->value == 0)
+            return true; // acquired
+        // Lock held: back off before respinning (keeps MN atomic unit
+        // and the network from thrashing).
+        cn_.eventQueue().runUntilTime(cn_.eventQueue().now() + backoff);
+        backoff = std::min<Tick>(backoff * 2, 20 * kMicrosecond);
+    }
+    return false;
+}
+
+void
+ClioClient::runlock(VirtAddr lock_addr)
+{
+    auto h = atomicAsync(lock_addr, AtomicOp::kStore, 0);
+    rpoll(h);
+}
+
+Status
+ClioClient::rfence()
+{
+    auto h = fenceAsync();
+    rpoll(h);
+    return h->status;
+}
+
+Status
+ClioClient::offloadCall(NodeId mn, std::uint32_t offload_id,
+                        std::vector<std::uint8_t> arg,
+                        std::vector<std::uint8_t> *result,
+                        std::uint64_t *value,
+                        std::uint64_t expected_resp_bytes)
+{
+    auto h = offloadAsync(mn, offload_id, std::move(arg),
+                          expected_resp_bytes);
+    rpoll(h);
+    if (result)
+        *result = h->data;
+    if (value)
+        *value = h->value;
+    return h->status;
+}
+
+} // namespace clio

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Per-process CLib API (§3.1) + the request ordering layer (§4.5 T2).
+ *
+ * A ClioClient is one application process' view of its remote address
+ * space (RAS). It offers the paper's API — ralloc / rfree / rread /
+ * rwrite (sync + async), rpoll, rlock / runlock / rfence, rrelease —
+ * and enforces intra-thread inter-request ordering at the CN:
+ * concurrent asynchronous requests with WAR / RAW / WAW dependencies
+ * on the same page are never outstanding together; conflicting
+ * requests are queued and issued only when their predecessors finish.
+ *
+ * Synchronous calls pump the cluster's event queue until completion,
+ * which lets single-threaded application code drive the simulation
+ * naturally (other actors' events interleave while pumping).
+ */
+
+#ifndef CLIO_CLIB_CLIENT_HH
+#define CLIO_CLIB_CLIENT_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "clib/cnode.hh"
+#include "pagetable/pte.hh"
+#include "proto/messages.hh"
+#include "sim/stats.hh"
+
+namespace clio {
+
+/** Completion handle returned by asynchronous APIs (poll via rpoll). */
+struct RequestHandle
+{
+    bool done = false;
+    Status status = Status::kOk;
+    /** Scalar result (allocated VA, atomic old value, offload value). */
+    std::uint64_t value = 0;
+    /** Offload result payload (reads land in the caller's buffer). */
+    std::vector<std::uint8_t> data;
+    /** Optional completion hook (used by closed-loop workload actors);
+     * invoked once, right after `done` flips to true. */
+    std::function<void()> on_done;
+};
+
+using HandlePtr = std::shared_ptr<RequestHandle>;
+
+/** Per-client operation counters. */
+struct ClientStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t allocs = 0;
+    std::uint64_t frees = 0;
+    std::uint64_t atomics = 0;
+    std::uint64_t fences = 0;
+    std::uint64_t offloads = 0;
+    std::uint64_t ordering_stalls = 0; ///< requests queued on a conflict
+};
+
+/** One application process using Clio. */
+class ClioClient
+{
+  public:
+    /**
+     * @param home_mn default MN for allocations (overridden by the
+     *        cluster's placement hook in multi-MN setups).
+     */
+    ClioClient(CNode &cn, ProcId pid, NodeId home_mn);
+
+    ProcId pid() const { return pid_; }
+    CNode &cnode() { return cn_; }
+
+    /** Cluster hook choosing the MN for a new allocation (§4.7). */
+    void
+    setAllocPlacement(std::function<NodeId(std::uint64_t)> picker)
+    {
+        alloc_picker_ = std::move(picker);
+    }
+
+    /** Record that [addr, addr+size) is served by `mn` (set by ralloc
+     * internally; also called by the controller after migration). */
+    void noteRegion(VirtAddr addr, std::uint64_t size, NodeId mn);
+
+    /** MN currently serving `addr` (home MN when unknown). */
+    NodeId mnFor(VirtAddr addr) const;
+
+    /** Controller push after a migration (§4.7): every VA inside
+     * [start, start+length) is now served by `mn`. */
+    void redirectRegion(VirtAddr start, std::uint64_t length, NodeId mn);
+
+    /** Adopt another client's routing + allocation tables (used when
+     * attaching to an existing RAS from a different CN, §3.1). The
+     * two clients must share a PID. Later allocations by either side
+     * are shared at the MN but routed locally, so applications
+     * exchange new region info themselves (as the paper's shared-RAS
+     * programs do). */
+    void copyRoutingFrom(const ClioClient &other);
+
+    /** @{ Asynchronous API (§3.1). Handles complete via rpoll().
+     * @param mn_override 0 = placement policy picks the MN; otherwise
+     *        the allocation targets this node (replication, tests). */
+    HandlePtr rallocAsync(std::uint64_t size,
+                          std::uint8_t perm = kPermReadWrite,
+                          bool populate = false,
+                          NodeId mn_override = 0);
+    HandlePtr rfreeAsync(VirtAddr addr);
+    HandlePtr rreadAsync(VirtAddr addr, void *buf, std::uint64_t len);
+    HandlePtr rwriteAsync(VirtAddr addr, const void *src,
+                          std::uint64_t len);
+    HandlePtr atomicAsync(VirtAddr addr, AtomicOp op,
+                          std::uint64_t arg0 = 0, std::uint64_t arg1 = 0);
+    HandlePtr fenceAsync();
+    HandlePtr offloadAsync(NodeId mn, std::uint32_t offload_id,
+                           std::vector<std::uint8_t> arg,
+                           std::uint64_t expected_resp_bytes = 256);
+    /** @} */
+
+    /** Pump the simulation until every handle completes.
+     * @retval true when all completed with Status::kOk. */
+    bool rpoll(const std::vector<HandlePtr> &handles);
+    bool rpoll(const HandlePtr &handle);
+
+    /** Release barrier: wait until every inflight request of this
+     * client returns (T2's rrelease semantics). */
+    void rrelease();
+
+    /** @{ Synchronous API: async + rpoll. */
+    VirtAddr ralloc(std::uint64_t size,
+                    std::uint8_t perm = kPermReadWrite,
+                    bool populate = false); ///< 0 on failure
+    Status rfree(VirtAddr addr);
+    Status rread(VirtAddr addr, void *buf, std::uint64_t len);
+    Status rwrite(VirtAddr addr, const void *src, std::uint64_t len);
+    /** Atomic fetch-add; nullopt on failure. */
+    std::optional<std::uint64_t> rfaa(VirtAddr addr, std::uint64_t add);
+    /** @} */
+
+    /** @{ Synchronization primitives (§3.1), MN-executed (T3). */
+    bool rlock(VirtAddr lock_addr, std::uint32_t max_spins = 1u << 20);
+    void runlock(VirtAddr lock_addr);
+    Status rfence();
+    /** @} */
+
+    /** Synchronous offload invocation (extend path, §4.6). */
+    Status offloadCall(NodeId mn, std::uint32_t offload_id,
+                       std::vector<std::uint8_t> arg,
+                       std::vector<std::uint8_t> *result = nullptr,
+                       std::uint64_t *value = nullptr,
+                       std::uint64_t expected_resp_bytes = 256);
+
+    const ClientStats &stats() const { return stats_; }
+
+    /** Inflight + queued request count (test hook). */
+    std::size_t outstanding() const {
+        return inflight_.size() + pending_.size();
+    }
+
+  private:
+    /** Page-interval footprint of one request for conflict checks. */
+    struct Footprint
+    {
+        std::uint64_t first_vpn = 0;
+        std::uint64_t last_vpn = 0;
+        bool is_write = false;
+        /** Full barrier (fence/release): conflicts with everything. */
+        bool barrier = false;
+    };
+
+    struct Op
+    {
+        std::uint64_t op_seq = 0;
+        Footprint fp;
+        HandlePtr handle;
+        std::shared_ptr<RequestMsg> req;
+        std::uint64_t expected_resp_bytes = 0;
+        void *read_buf = nullptr;
+    };
+
+    static bool conflicts(const Footprint &a, const Footprint &b);
+
+    /** Admit an op: issue now or queue behind conflicting ones (T2). */
+    HandlePtr submit(Op op);
+    void issueNow(Op op);
+    void onComplete(std::uint64_t op_seq, Status status,
+                    const std::vector<std::uint8_t> &data,
+                    std::uint64_t value);
+    void drainPending();
+
+    CNode &cn_;
+    ProcId pid_;
+    NodeId home_mn_;
+    std::function<NodeId(std::uint64_t)> alloc_picker_;
+
+    /** Region routing table: start -> (length, MN). */
+    std::map<VirtAddr, std::pair<std::uint64_t, NodeId>> regions_;
+    /** Local allocation sizes (for rfree footprints). */
+    std::map<VirtAddr, std::uint64_t> alloc_sizes_;
+
+    std::uint64_t next_op_seq_ = 1;
+    std::map<std::uint64_t, Op> inflight_; ///< issued, not yet complete
+    std::deque<Op> pending_;               ///< queued on conflicts
+
+    ClientStats stats_;
+};
+
+} // namespace clio
+
+#endif // CLIO_CLIB_CLIENT_HH

@@ -1,0 +1,321 @@
+#include "clib/cnode.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "proto/wire.hh"
+#include "sim/logging.hh"
+
+namespace clio {
+
+CNode::CNode(EventQueue &eq, Network &network, const ModelConfig &cfg)
+    : eq_(eq), net_(network), cfg_(cfg)
+{
+    node_ = net_.addNode([this](Packet pkt) { onPacket(std::move(pkt)); });
+}
+
+CNode::PerMn &
+CNode::mnState(NodeId mn)
+{
+    auto it = per_mn_.find(mn);
+    if (it == per_mn_.end()) {
+        it = per_mn_.emplace(mn, PerMn{cfg_.clib.cwnd_init, 0, {}, 0, 0})
+                 .first;
+    }
+    return it->second;
+}
+
+double
+CNode::cwnd(NodeId mn) const
+{
+    auto it = per_mn_.find(mn);
+    return it == per_mn_.end() ? cfg_.clib.cwnd_init : it->second.cwnd;
+}
+
+void
+CNode::issue(std::shared_ptr<RequestMsg> req,
+             std::uint64_t expected_resp_bytes, Completion cb)
+{
+    const ReqId id = (static_cast<ReqId>(node_) << 40) | next_req_seq_++;
+    req->req_id = id;
+    req->orig_req_id = id;
+    req->src = node_;
+    stats_.requests++;
+
+    Outstanding out;
+    out.req = std::move(req);
+    out.cb = std::move(cb);
+    out.expected_resp_bytes = expected_resp_bytes;
+    const NodeId mn = out.req->dst;
+    outstanding_.emplace(id, std::move(out));
+    mnState(mn).wait_queue.push_back(id);
+    trySend(mn);
+}
+
+void
+CNode::trySend(NodeId mn)
+{
+    PerMn &st = mnState(mn);
+    while (!st.wait_queue.empty()) {
+        // Congestion window admission (cwnd may be fractional, §4.4).
+        if (st.cwnd >= 1.0) {
+            if (st.inflight >=
+                static_cast<std::uint32_t>(std::floor(st.cwnd)))
+                return;
+        } else {
+            if (st.inflight >= 1)
+                return;
+            if (eq_.now() < st.next_send_allowed) {
+                // Paced below one request per RTT: re-poll at the gate.
+                const NodeId mn_copy = mn;
+                eq_.schedule(st.next_send_allowed,
+                             [this, mn_copy] { trySend(mn_copy); });
+                return;
+            }
+        }
+        const ReqId id = st.wait_queue.front();
+        auto it = outstanding_.find(id);
+        if (it == outstanding_.end()) {
+            st.wait_queue.pop_front(); // cancelled/stale
+            continue;
+        }
+        Outstanding &out = it->second;
+        // Incast window: bound expected response bytes (always admit
+        // at least one request so big reads are not starved).
+        if (iwnd_used_ > 0 &&
+            iwnd_used_ + out.expected_resp_bytes > cfg_.clib.iwnd_bytes)
+            return;
+        st.wait_queue.pop_front();
+        st.inflight++;
+        iwnd_used_ += out.expected_resp_bytes;
+        transmit(out);
+    }
+}
+
+void
+CNode::transmit(Outstanding &out)
+{
+    const RequestMsg &req = *out.req;
+    out.sent_at = eq_.now();
+    out.generation++;
+    out.resp_parts_seen = 0;
+    out.resp_parts_total = 0;
+    out.resp_corrupted = false;
+
+    std::uint64_t payload = 0;
+    if (req.type == MsgType::kWrite)
+        payload = req.size;
+    else if (req.type == MsgType::kOffload)
+        payload = req.offload_arg.size();
+
+    // CLib software send + CN NIC traversal, then onto the wire.
+    const Tick on_wire =
+        eq_.now() + cfg_.clib.send_overhead + cfg_.clib.nic_latency;
+    sendSplit(eq_, net_, on_wire, node_, req.dst, req.req_id, req.type,
+              payload, out.req);
+    armTimeout(req.req_id, out.generation);
+}
+
+Tick
+CNode::timeoutFor(const RequestMsg &req) const
+{
+    if (req.timeout_override)
+        return req.timeout_override;
+    switch (req.type) {
+      case MsgType::kAlloc:
+      case MsgType::kFree:
+      case MsgType::kOffload:
+      case MsgType::kFence:
+        return cfg_.clib.slow_op_timeout;
+      default: {
+        // Large transfers legitimately occupy the wire for a long
+        // time; scale the timeout with the serialized payload so a
+        // 64 KB write at 10 Gbps does not spuriously retry.
+        const std::uint64_t payload =
+            req.type == MsgType::kWrite ? req.size
+            : req.type == MsgType::kRead ? req.size
+                                         : 0;
+        const Tick wire = static_cast<Tick>(payload) *
+                          ticksPerByte(cfg_.net.link_bandwidth_bps);
+        return cfg_.clib.timeout + 3 * wire;
+      }
+    }
+}
+
+void
+CNode::armTimeout(ReqId attempt_id, std::uint64_t generation)
+{
+    auto it = outstanding_.find(attempt_id);
+    clio_assert(it != outstanding_.end(), "arming unknown request");
+    eq_.scheduleAfter(timeoutFor(*it->second.req),
+                      [this, attempt_id, generation] {
+                          handleTimeout(attempt_id, generation);
+                      });
+}
+
+void
+CNode::handleTimeout(ReqId attempt_id, std::uint64_t generation)
+{
+    auto it = outstanding_.find(attempt_id);
+    if (it == outstanding_.end() || it->second.generation != generation)
+        return; // completed or already retried
+    stats_.timeouts++;
+    Outstanding out = std::move(it->second);
+    outstanding_.erase(it);
+    retry(std::move(out), true);
+}
+
+void
+CNode::retry(Outstanding out, bool congestion_signal)
+{
+    const NodeId mn = out.req->dst;
+    if (congestion_signal) {
+        PerMn &st = mnState(mn);
+        const Tick guard = std::max<Tick>(st.last_rtt, cfg_.clib.timeout);
+        if (eq_.now() >= st.last_decrease + guard) {
+            st.cwnd = std::max(st.cwnd * cfg_.clib.cwnd_mult_dec, 0.01);
+            st.last_decrease = eq_.now();
+            stats_.cwnd_decreases++;
+            if (st.cwnd < 1.0 && st.last_rtt > 0) {
+                st.next_send_allowed =
+                    eq_.now() + static_cast<Tick>(
+                                    static_cast<double>(st.last_rtt) /
+                                    st.cwnd);
+            }
+        }
+    }
+    if (out.retries >= cfg_.clib.max_retries) {
+        // Give up: surface the failure to the application (§4.5 T4,
+        // "extremely rare").
+        stats_.failures++;
+        PerMn &st = mnState(mn);
+        clio_assert(st.inflight > 0, "inflight underflow");
+        st.inflight--;
+        iwnd_used_ -= out.expected_resp_bytes;
+        const Tick deliver = eq_.now() + cfg_.clib.recv_overhead;
+        auto cb = std::move(out.cb);
+        eq_.schedule(deliver, [cb = std::move(cb)] {
+            cb(Status::kRetryExceeded, {}, 0);
+        });
+        trySend(mn);
+        return;
+    }
+    stats_.retries++;
+    // A retry is a NEW request with a fresh id (its own response), but
+    // carries the original id so the MN can deduplicate (T4). Copy the
+    // message: packets of the previous attempt still reference it.
+    auto fresh = std::make_shared<RequestMsg>(*out.req);
+    fresh->req_id = (static_cast<ReqId>(node_) << 40) | next_req_seq_++;
+    out.req = std::move(fresh);
+    out.retries++;
+    const ReqId new_id = out.req->req_id;
+    auto [it, inserted] = outstanding_.emplace(new_id, std::move(out));
+    clio_assert(inserted, "request id collision");
+    transmit(it->second);
+}
+
+void
+CNode::updateCwnd(NodeId mn, Tick rtt)
+{
+    PerMn &st = mnState(mn);
+    st.last_rtt = rtt;
+    if (rtt > cfg_.clib.target_rtt) {
+        // At most one multiplicative decrease per RTT: every ack of
+        // the same congested window carries a high RTT sample, and
+        // reacting to each would collapse cwnd to the floor.
+        if (eq_.now() >= st.last_decrease + rtt) {
+            st.cwnd = std::max(st.cwnd * cfg_.clib.cwnd_mult_dec, 0.01);
+            st.last_decrease = eq_.now();
+            stats_.cwnd_decreases++;
+            if (st.cwnd < 1.0) {
+                st.next_send_allowed =
+                    eq_.now() + static_cast<Tick>(
+                                    static_cast<double>(rtt) / st.cwnd);
+            }
+        }
+    } else {
+        st.cwnd = std::min(st.cwnd + cfg_.clib.cwnd_add_step,
+                           cfg_.clib.cwnd_max);
+    }
+}
+
+void
+CNode::onPacket(Packet pkt)
+{
+    auto it = outstanding_.find(pkt.req_id);
+    if (it == outstanding_.end())
+        return; // stale response (e.g. the original after a retry won)
+    Outstanding &out = it->second;
+
+    if (pkt.type == MsgType::kNack) {
+        // MN's link layer saw a corrupted packet of our request (§4.4).
+        stats_.nacks++;
+        Outstanding moved = std::move(out);
+        outstanding_.erase(it);
+        retry(std::move(moved), false);
+        return;
+    }
+
+    clio_assert(pkt.type == MsgType::kResponse,
+                "unexpected packet type at CN");
+    if (out.resp_parts_total == 0) {
+        out.resp_parts_total = pkt.total_parts;
+        out.resp = std::static_pointer_cast<const ResponseMsg>(pkt.msg);
+    }
+    if (pkt.corrupted)
+        out.resp_corrupted = true;
+    out.resp_parts_seen++;
+    if (out.resp_parts_seen < out.resp_parts_total)
+        return;
+
+    // Full response assembled (T1 reassembly).
+    const NodeId mn = out.req->dst;
+    const Tick rtt = eq_.now() - out.sent_at;
+    rtt_hist_.record(rtt);
+    // Congestion signal (§4.4): only data-path requests sample the
+    // network delay — slow-path and offload RTTs are dominated by
+    // service time, not queueing. Large transfers subtract their own
+    // expected serialization so only *excess* delay counts.
+    switch (out.req->type) {
+      case MsgType::kRead:
+      case MsgType::kWrite:
+      case MsgType::kAtomic: {
+        const std::uint64_t payload =
+            out.req->type == MsgType::kAtomic ? 8 : out.req->size;
+        const Tick expected_ser =
+            2 * payload * ticksPerByte(cfg_.net.link_bandwidth_bps);
+        updateCwnd(mn, rtt > expected_ser ? rtt - expected_ser : 0);
+        break;
+      }
+      default:
+        break;
+    }
+
+    if (out.resp_corrupted) {
+        // Checksum failure on the response: retry the whole request.
+        Outstanding moved = std::move(out);
+        outstanding_.erase(it);
+        retry(std::move(moved), false);
+        return;
+    }
+
+    PerMn &st = mnState(mn);
+    clio_assert(st.inflight > 0, "inflight underflow");
+    st.inflight--;
+    iwnd_used_ -= out.expected_resp_bytes;
+    stats_.responses++;
+
+    auto resp = out.resp;
+    auto cb = std::move(out.cb);
+    outstanding_.erase(it);
+
+    // CN NIC + CLib software receive overhead before the app sees it.
+    const Tick deliver =
+        eq_.now() + cfg_.clib.nic_latency + cfg_.clib.recv_overhead;
+    eq_.schedule(deliver, [cb = std::move(cb), resp] {
+        cb(resp->status, resp->data, resp->value);
+    });
+    trySend(mn);
+}
+
+} // namespace clio

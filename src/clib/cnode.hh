@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Compute node + CLib transport layer (§4.4).
+ *
+ * A CNode models one regular server with a commodity Ethernet NIC.
+ * All transport state lives here, on the CN side, making MNs
+ * "transportless":
+ *  - connection-less request/response matching by request id;
+ *  - request-level reliability: the whole memory request is retried
+ *    (with a FRESH id, carrying the original id for MN-side dedup) on
+ *    NACK, corrupted response, or timeout (§4.5 T4);
+ *  - delay-based AIMD congestion window per MN, which may fall below
+ *    one outstanding request under heavy congestion (Swift-style,
+ *    §4.4), plus an incast window bounding expected response bytes;
+ *  - MTU split on send and response reassembly on receive (T1).
+ */
+
+#ifndef CLIO_CLIB_CNODE_HH
+#define CLIO_CLIB_CNODE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "net/network.hh"
+#include "proto/messages.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace clio {
+
+/** Transport-level statistics for one CNode. */
+struct CNodeStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t responses = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t nacks = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t failures = 0; ///< kRetryExceeded surfaced to apps
+    std::uint64_t cwnd_decreases = 0;
+};
+
+/** One compute node: NIC + CLib transport shared by its processes. */
+class CNode
+{
+  public:
+    /** Completion callback: status + response payload + scalar. */
+    using Completion = std::function<void(Status,
+                                          const std::vector<std::uint8_t> &,
+                                          std::uint64_t value)>;
+
+    CNode(EventQueue &eq, Network &network, const ModelConfig &cfg);
+
+    NodeId nodeId() const { return node_; }
+    EventQueue &eventQueue() { return eq_; }
+    const ModelConfig &config() const { return cfg_; }
+
+    /**
+     * Issue one request. The transport owns ordering *below* the
+     * request level only; inter-request ordering is the client
+     * layer's job (T2). `req->dst` selects the MN.
+     *
+     * @param expected_resp_bytes response payload size for the incast
+     *        window (reads: size; others: ~0).
+     */
+    void issue(std::shared_ptr<RequestMsg> req,
+               std::uint64_t expected_resp_bytes, Completion cb);
+
+    const CNodeStats &stats() const { return stats_; }
+    LatencyHistogram &rttHistogram() { return rtt_hist_; }
+
+    /** Current congestion window toward an MN (test/bench hook). */
+    double cwnd(NodeId mn) const;
+
+  private:
+    struct Outstanding
+    {
+        std::shared_ptr<RequestMsg> req;
+        Completion cb;
+        std::uint64_t expected_resp_bytes = 0;
+        Tick sent_at = 0;
+        std::uint32_t retries = 0;
+        /** Timeout-staleness guard. */
+        std::uint64_t generation = 0;
+        /** Response reassembly (T1). */
+        std::uint32_t resp_parts_seen = 0;
+        std::uint32_t resp_parts_total = 0;
+        std::shared_ptr<const ResponseMsg> resp;
+        bool resp_corrupted = false;
+    };
+
+    /** Per-destination-MN congestion state. */
+    struct PerMn
+    {
+        double cwnd;
+        std::uint32_t inflight = 0;
+        /** Requests admitted by the client layer but waiting for
+         * window room, FIFO. */
+        std::deque<ReqId> wait_queue;
+        /** Pacing gate used when cwnd < 1. */
+        Tick next_send_allowed = 0;
+        Tick last_rtt = 0;
+        /** Once-per-RTT limiter for multiplicative decrease. */
+        Tick last_decrease = 0;
+    };
+
+    void onPacket(Packet pkt);
+    void trySend(NodeId mn);
+    /** Retry timeout for one request (type-dependent, §4.5). */
+    Tick timeoutFor(const RequestMsg &req) const;
+    void transmit(Outstanding &out);
+    void armTimeout(ReqId attempt_id, std::uint64_t generation);
+    void handleTimeout(ReqId attempt_id, std::uint64_t generation);
+    void retry(Outstanding out, bool congestion_signal);
+    void complete(ReqId attempt_id, Status status,
+                  const std::vector<std::uint8_t> &data,
+                  std::uint64_t value);
+    void updateCwnd(NodeId mn, Tick rtt);
+    PerMn &mnState(NodeId mn);
+
+    EventQueue &eq_;
+    Network &net_;
+    ModelConfig cfg_;
+    NodeId node_;
+
+    /** Outstanding requests keyed by CURRENT attempt id. */
+    std::unordered_map<ReqId, Outstanding> outstanding_;
+    std::unordered_map<NodeId, PerMn> per_mn_;
+    std::uint64_t next_req_seq_ = 1;
+    std::uint64_t iwnd_used_ = 0;
+
+    CNodeStats stats_;
+    LatencyHistogram rtt_hist_;
+};
+
+} // namespace clio
+
+#endif // CLIO_CLIB_CNODE_HH

@@ -1,0 +1,84 @@
+#include "clib/replication.hh"
+
+#include "sim/logging.hh"
+
+namespace clio {
+
+ReplicatedRegion::ReplicatedRegion(ClioClient &client, std::uint64_t size,
+                                   NodeId primary_mn, NodeId backup_mn)
+    : client_(client), size_(size)
+{
+    clio_assert(primary_mn != backup_mn,
+                "replicas must live on distinct MNs");
+    auto hp = client_.rallocAsync(size, kPermReadWrite, false,
+                                  primary_mn);
+    auto hb = client_.rallocAsync(size, kPermReadWrite, false,
+                                  backup_mn);
+    client_.rpoll({hp, hb});
+    if (hp->status == Status::kOk)
+        primary_ = hp->value;
+    if (hb->status == Status::kOk)
+        backup_ = hb->value;
+}
+
+Status
+ReplicatedRegion::write(std::uint64_t offset, const void *src,
+                        std::uint64_t len)
+{
+    clio_assert(offset + len <= size_, "replicated write out of range");
+    std::vector<HandlePtr> handles;
+    HandlePtr hp, hb;
+    if (primary_alive_)
+        handles.push_back(hp = client_.rwriteAsync(primary_ + offset,
+                                                   src, len));
+    if (backup_alive_)
+        handles.push_back(hb = client_.rwriteAsync(backup_ + offset,
+                                                   src, len));
+    if (handles.empty())
+        return Status::kRetryExceeded; // both replicas failed
+    client_.rpoll(handles);
+    // A replica that exhausted retries is marked failed; the write
+    // succeeds if at least one replica holds the data (degraded mode).
+    if (hp && hp->status != Status::kOk)
+        primary_alive_ = false;
+    if (hb && hb->status != Status::kOk)
+        backup_alive_ = false;
+    const bool any_ok = (hp && hp->status == Status::kOk) ||
+                        (hb && hb->status == Status::kOk);
+    return any_ok ? Status::kOk : Status::kRetryExceeded;
+}
+
+Status
+ReplicatedRegion::read(std::uint64_t offset, void *dst, std::uint64_t len)
+{
+    clio_assert(offset + len <= size_, "replicated read out of range");
+    if (primary_alive_) {
+        const Status st = client_.rread(primary_ + offset, dst, len);
+        if (st == Status::kOk)
+            return st;
+        // Primary unreachable/confused: fail over.
+        primary_alive_ = false;
+    }
+    if (!backup_alive_)
+        return Status::kRetryExceeded;
+    failovers_++;
+    const Status st = client_.rread(backup_ + offset, dst, len);
+    if (st != Status::kOk)
+        backup_alive_ = false;
+    return st;
+}
+
+void
+ReplicatedRegion::destroy()
+{
+    if (primary_) {
+        client_.rfree(primary_);
+        primary_ = 0;
+    }
+    if (backup_) {
+        client_.rfree(backup_);
+        backup_ = 0;
+    }
+}
+
+} // namespace clio

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Replicated remote memory (§8): the paper leaves failure handling to
+ * services built on Clio and suggests offering "primitives like
+ * replicated writes for users to build their own services". This is
+ * that primitive: a region mirrored across two MNs, with writes going
+ * to both replicas and reads served by the primary, failing over to
+ * the backup when the primary stops answering.
+ *
+ * Consistency: writes complete when BOTH replicas ack (write-all);
+ * reads are served by one replica (read-one). Combined with Clio's
+ * per-request ordering this gives linearizable single-writer
+ * semantics; multi-writer applications coordinate with rlock as
+ * usual.
+ */
+
+#ifndef CLIO_CLIB_REPLICATION_HH
+#define CLIO_CLIB_REPLICATION_HH
+
+#include <cstdint>
+
+#include "clib/client.hh"
+
+namespace clio {
+
+/** A fixed-size region mirrored on two memory nodes. */
+class ReplicatedRegion
+{
+  public:
+    /**
+     * Allocate `size` bytes on two distinct MNs.
+     * @param primary_mn / @param backup_mn target boards.
+     * ok() reports whether both allocations succeeded.
+     */
+    ReplicatedRegion(ClioClient &client, std::uint64_t size,
+                     NodeId primary_mn, NodeId backup_mn);
+
+    bool ok() const { return primary_ != 0 && backup_ != 0; }
+    std::uint64_t size() const { return size_; }
+
+    /** Offset-addressed write to BOTH replicas (completes when both
+     * ack; a replica that exhausts retries marks itself failed). */
+    Status write(std::uint64_t offset, const void *src,
+                 std::uint64_t len);
+
+    /** Offset-addressed read from the primary, failing over to the
+     * backup when the primary is marked or becomes unreachable. */
+    Status read(std::uint64_t offset, void *dst, std::uint64_t len);
+
+    /** @{ Health introspection. */
+    bool primaryAlive() const { return primary_alive_; }
+    bool backupAlive() const { return backup_alive_; }
+    std::uint64_t failovers() const { return failovers_; }
+    /** @} */
+
+    /** Release both replicas. */
+    void destroy();
+
+  private:
+    ClioClient &client_;
+    std::uint64_t size_ = 0;
+    VirtAddr primary_ = 0;
+    VirtAddr backup_ = 0;
+    bool primary_alive_ = true;
+    bool backup_alive_ = true;
+    std::uint64_t failovers_ = 0;
+};
+
+} // namespace clio
+
+#endif // CLIO_CLIB_REPLICATION_HH

@@ -1,0 +1,247 @@
+#include "cluster/cluster.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace clio {
+
+Cluster::Cluster(const ModelConfig &cfg, std::uint32_t num_cns,
+                 std::uint32_t num_mns, std::uint64_t mn_phys_bytes)
+    : cfg_(cfg), net_(eq_, cfg.net, cfg.seed * 7919 + 1)
+{
+    clio_assert(num_cns > 0 && num_mns > 0, "cluster needs CNs and MNs");
+    for (std::uint32_t i = 0; i < num_mns; i++) {
+        mns_.push_back(
+            std::make_unique<CBoard>(eq_, net_, cfg_, mn_phys_bytes));
+        CBoard *board = mns_.back().get();
+        board->setWindowedMode(num_mns > 1);
+        board->setWindowRequestHook(
+            [this, i](ProcId pid, std::uint64_t size) {
+                return grantWindows(pid, i, size);
+            });
+    }
+    for (std::uint32_t i = 0; i < num_cns; i++)
+        cns_.push_back(std::make_unique<CNode>(eq_, net_, cfg_));
+}
+
+std::uint32_t
+Cluster::mnIndexOf(NodeId node) const
+{
+    for (std::uint32_t i = 0; i < mns_.size(); i++) {
+        if (mns_[i]->nodeId() == node)
+            return i;
+    }
+    clio_panic("node %u is not an MN", node);
+}
+
+std::uint32_t
+Cluster::leastPressuredMn() const
+{
+    std::uint32_t best = 0;
+    double best_pressure = 2.0;
+    for (std::uint32_t i = 0; i < mns_.size(); i++) {
+        const double p = mns_[i]->memoryPressure();
+        if (p < best_pressure) {
+            best_pressure = p;
+            best = i;
+        }
+    }
+    return best;
+}
+
+ClioClient &
+Cluster::createClient(std::uint32_t cn_index)
+{
+    const ProcId pid = next_pid_++;
+    const std::uint32_t home = rr_next_mn_;
+    rr_next_mn_ = (rr_next_mn_ + 1) % mns_.size();
+    auto client = std::make_unique<ClioClient>(
+        cn(cn_index), pid, mns_[home]->nodeId());
+    if (mns_.size() > 1) {
+        // Place new allocations on the least-pressured MN (§4.7).
+        ClioClient *raw = client.get();
+        client->setAllocPlacement([this, raw](std::uint64_t) {
+            (void)raw;
+            return mns_[leastPressuredMn()]->nodeId();
+        });
+    }
+    clients_.push_back(std::move(client));
+    return *clients_.back();
+}
+
+ClioClient &
+Cluster::createSharedClient(std::uint32_t cn_index,
+                            const ClioClient &base)
+{
+    // Same global PID: the MN's page table and permissions already
+    // cover this process; a second CN simply issues requests for it.
+    auto client = std::make_unique<ClioClient>(
+        cn(cn_index), base.pid(), base.mnFor(0));
+    client->copyRoutingFrom(base);
+    if (mns_.size() > 1) {
+        client->setAllocPlacement([this](std::uint64_t) {
+            return mns_[leastPressuredMn()]->nodeId();
+        });
+    }
+    clients_.push_back(std::move(client));
+    return *clients_.back();
+}
+
+bool
+Cluster::grantWindows(ProcId pid, std::uint32_t mn_idx,
+                      std::uint64_t min_bytes)
+{
+    const std::uint64_t region = cfg_.dist.region_size;
+    const std::uint64_t count =
+        std::max<std::uint64_t>(1, (min_bytes + region - 1) / region);
+    // Region index 0 is skipped so that VA 0 stays unused.
+    std::uint64_t &next = next_region_.try_emplace(pid, 1).first->second;
+    const VirtAddr start = next * region;
+    next += count;
+    mns_[mn_idx]->vaAllocator().addWindow(pid, start, count * region);
+    for (std::uint64_t j = 0; j < count; j++)
+        region_owner_[{pid, start + j * region}] = mn_idx;
+    return true;
+}
+
+MigrationReport
+Cluster::migrateRegion(ProcId pid, std::uint32_t src_mn,
+                       VirtAddr region_start)
+{
+    MigrationReport report;
+    report.src_mn = src_mn;
+    if (mns_.size() < 2)
+        return report;
+
+    const std::uint64_t region = cfg_.dist.region_size;
+    if (region_start == 0) {
+        // Pick the first region of this pid owned by src_mn.
+        for (const auto &[key, owner] : region_owner_) {
+            if (key.first == pid && owner == src_mn) {
+                region_start = key.second;
+                break;
+            }
+        }
+        if (region_start == 0)
+            return report; // nothing to migrate
+    }
+    auto owner_it = region_owner_.find({pid, region_start});
+    if (owner_it == region_owner_.end() || owner_it->second != src_mn)
+        return report;
+
+    // Choose the least pressured destination other than the source.
+    std::uint32_t dst_mn = src_mn;
+    double best = 2.0;
+    for (std::uint32_t i = 0; i < mns_.size(); i++) {
+        if (i == src_mn)
+            continue;
+        const double p = mns_[i]->memoryPressure();
+        if (p < best) {
+            best = p;
+            dst_mn = i;
+        }
+    }
+    if (dst_mn == src_mn)
+        return report;
+
+    CBoard &src = *mns_[src_mn];
+    CBoard &dst = *mns_[dst_mn];
+    const std::uint64_t page_size = cfg_.page_table.page_size;
+
+    // Extract the allocator state for this region from the source.
+    auto regions = src.vaAllocator().extractRegions(pid, region_start,
+                                                    region);
+    // All vpns the region covers that have live PTEs.
+    std::vector<std::uint64_t> vpns;
+    for (const auto &r : regions) {
+        for (std::uint64_t off = 0; off < r.length; off += page_size)
+            vpns.push_back((r.start + off) / page_size);
+    }
+
+    // Admission at the destination: overflow-free insert must hold and
+    // enough physical frames must exist for the present pages.
+    std::uint64_t present_pages = 0;
+    for (auto vpn : vpns) {
+        const Pte *pte = src.pageTable().lookup(pid, vpn);
+        clio_assert(pte, "migrating unallocated vpn");
+        if (pte->present)
+            present_pages++;
+    }
+    if (!dst.pageTable().canInsert(pid, vpns) ||
+        dst.frames().freeFrames() < present_pages) {
+        // Roll back: put the regions back on the source.
+        for (const auto &r : regions)
+            src.vaAllocator().injectRegion(pid, r);
+        return report;
+    }
+
+    // Move window + allocator regions.
+    src.vaAllocator().removeWindow(pid, region_start, region);
+    dst.vaAllocator().addWindow(pid, region_start, region);
+    for (const auto &r : regions)
+        dst.vaAllocator().injectRegion(pid, r);
+
+    // Move PTEs + page contents.
+    std::vector<std::uint8_t> page_buf(page_size);
+    for (auto vpn : vpns) {
+        Pte pte = src.pageTable().remove(pid, vpn);
+        src.tlb().invalidate(pid, vpn);
+        dst.pageTable().insert(pid, vpn, pte.perm);
+        if (pte.present) {
+            auto frame = dst.frames().allocate();
+            clio_assert(frame, "admission check guaranteed frames");
+            src.memory().read(pte.frame, page_buf.data(), page_size);
+            dst.memory().write(*frame, page_buf.data(), page_size);
+            dst.pageTable().bindFrame(pid, vpn, *frame);
+            src.frames().free(pte.frame);
+            report.bytes_moved += page_size;
+            report.pages_moved++;
+        }
+    }
+
+    // Controller bookkeeping + push routing updates to clients.
+    owner_it->second = dst_mn;
+    for (auto &client : clients_) {
+        if (client->pid() == pid)
+            client->redirectRegion(region_start, region, dst.nodeId());
+    }
+
+    // Modeled duration: region data over the inter-MN link at ~2/3
+    // efficiency (the paper measured 1 GB in 1.3 s at 10 Gbps).
+    report.duration = static_cast<Tick>(
+        static_cast<double>(report.bytes_moved) *
+        static_cast<double>(ticksPerByte(cfg_.net.link_bandwidth_bps)) *
+        1.5);
+    report.ok = true;
+    report.region_start = region_start;
+    report.dst_mn = dst_mn;
+    return report;
+}
+
+std::vector<MigrationReport>
+Cluster::balancePressure()
+{
+    std::vector<MigrationReport> reports;
+    const double limit = 1.0 - cfg_.dist.pressure_threshold;
+    for (std::uint32_t i = 0; i < mns_.size(); i++) {
+        while (mns_[i]->memoryPressure() > limit) {
+            // Migrate any region with data away from the hot MN.
+            MigrationReport done;
+            for (const auto &[key, owner] : region_owner_) {
+                if (owner != i)
+                    continue;
+                done = migrateRegion(key.first, i, key.second);
+                if (done.ok && done.pages_moved > 0)
+                    break;
+                done = MigrationReport{};
+            }
+            if (!done.ok)
+                break; // nothing movable
+            reports.push_back(done);
+        }
+    }
+    return reports;
+}
+
+} // namespace clio

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Cluster wiring + the global controller for distributed MNs (§4.7).
+ *
+ * A Cluster owns the event queue, the network, N compute nodes and M
+ * CBoards, and plays the paper's *global controller* role:
+ *  - assigns coarse (1 GB) virtual regions of each process' RAS to
+ *    MNs, so VAs from different MNs never collide (two-level
+ *    distributed virtual memory management, inherited from LegoOS);
+ *  - places new allocations on the least-pressured MN;
+ *  - migrates rarely-needed regions away from MNs under memory
+ *    pressure (instead of swapping), §4.7.
+ */
+
+#ifndef CLIO_CLUSTER_CLUSTER_HH
+#define CLIO_CLUSTER_CLUSTER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cboard/cboard.hh"
+#include "clib/client.hh"
+#include "clib/cnode.hh"
+#include "net/network.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+
+namespace clio {
+
+/** Result of one region migration (bench/reporting). */
+struct MigrationReport
+{
+    bool ok = false;
+    VirtAddr region_start = 0;
+    std::uint64_t bytes_moved = 0;
+    std::uint32_t pages_moved = 0;
+    Tick duration = 0;
+    std::uint32_t src_mn = 0;
+    std::uint32_t dst_mn = 0;
+};
+
+/** A simulated Clio deployment: CNs + MNs on one ToR switch. */
+class Cluster
+{
+  public:
+    /**
+     * @param mn_phys_bytes per-MN DRAM (0 = config default 2 GB).
+     */
+    Cluster(const ModelConfig &cfg, std::uint32_t num_cns,
+            std::uint32_t num_mns, std::uint64_t mn_phys_bytes = 0);
+
+    EventQueue &eventQueue() { return eq_; }
+    Network &network() { return net_; }
+    const ModelConfig &config() const { return cfg_; }
+
+    std::uint32_t cnCount() const {
+        return static_cast<std::uint32_t>(cns_.size());
+    }
+    std::uint32_t mnCount() const {
+        return static_cast<std::uint32_t>(mns_.size());
+    }
+    CNode &cn(std::uint32_t i) { return *cns_.at(i); }
+    CBoard &mn(std::uint32_t i) { return *mns_.at(i); }
+
+    /** MN index of a network node id (panics for CN ids). */
+    std::uint32_t mnIndexOf(NodeId node) const;
+
+    /**
+     * Create an application process on CN `cn_index` with a fresh
+     * global PID. Allocation placement defaults to round-robin over
+     * MNs weighted away from pressured ones.
+     */
+    ClioClient &createClient(std::uint32_t cn_index);
+
+    std::uint32_t clientCount() const {
+        return static_cast<std::uint32_t>(clients_.size());
+    }
+    ClioClient &client(std::uint32_t i) { return *clients_.at(i); }
+
+    /**
+     * Attach another CN's thread/process to an EXISTING remote address
+     * space (§3.1: "processes running on different CNs can share
+     * memory in the same RAS"). The new client shares `base`'s global
+     * PID, sees all its allocations, and must coordinate with Clio's
+     * synchronization primitives (rlock / rfence).
+     */
+    ClioClient &createSharedClient(std::uint32_t cn_index,
+                                   const ClioClient &base);
+
+    /** Run the simulation until the queue drains. */
+    void run() { eq_.runAll(); }
+
+    /**
+     * Migrate one coarse region of `pid` from MN `src` to the least
+     * pressured other MN (§4.7). Chooses the first live region when
+     * `region_start` is 0. Functional state flips atomically; the
+     * report carries the modeled duration (1 GB ≈ 1.3 s at 10 Gbps).
+     */
+    MigrationReport migrateRegion(ProcId pid, std::uint32_t src_mn,
+                                  VirtAddr region_start = 0);
+
+    /**
+     * Controller sweep: migrate regions away from any MN whose memory
+     * pressure exceeds the configured threshold. @return migrations
+     * performed.
+     */
+    std::vector<MigrationReport> balancePressure();
+
+  private:
+    /** Controller: hand `min_bytes` of fresh contiguous regions of
+     * `pid`'s RAS to MN index `mn_idx`. */
+    bool grantWindows(ProcId pid, std::uint32_t mn_idx,
+                      std::uint64_t min_bytes);
+
+    /** Least-pressured MN index. */
+    std::uint32_t leastPressuredMn() const;
+
+    ModelConfig cfg_;
+    EventQueue eq_;
+    Network net_;
+    std::vector<std::unique_ptr<CBoard>> mns_;
+    std::vector<std::unique_ptr<CNode>> cns_;
+    std::vector<std::unique_ptr<ClioClient>> clients_;
+
+    ProcId next_pid_ = 1;
+    std::uint32_t rr_next_mn_ = 0;
+
+    /** Controller state: per-pid next free coarse-region index. */
+    std::map<ProcId, std::uint64_t> next_region_;
+    /** (pid, region_start) -> owning MN index. */
+    std::map<std::pair<ProcId, VirtAddr>, std::uint32_t> region_owner_;
+};
+
+} // namespace clio
+
+#endif // CLIO_CLUSTER_CLUSTER_HH

@@ -1,0 +1,76 @@
+#include "energy/energy.hh"
+
+#include "sim/logging.hh"
+
+namespace clio {
+
+const char *
+systemName(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::kClio:
+        return "Clio";
+      case SystemKind::kClover:
+        return "Clover";
+      case SystemKind::kHerd:
+        return "HERD";
+      case SystemKind::kHerdBluefield:
+        return "HERD-BF";
+      case SystemKind::kLegoOs:
+        return "LegoOS";
+      case SystemKind::kRdma:
+        return "RDMA";
+    }
+    return "?";
+}
+
+double
+mnPowerWatts(const EnergyConfig &cfg, SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::kClio:
+        return cfg.cboard_watts;
+      case SystemKind::kClover:
+        return cfg.passive_mn_watts;
+      case SystemKind::kHerdBluefield:
+        return cfg.bluefield_watts;
+      case SystemKind::kHerd:
+      case SystemKind::kLegoOs:
+      case SystemKind::kRdma:
+        return cfg.mn_server_watts;
+    }
+    return 0;
+}
+
+double
+cnShareMultiplier(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::kClover:
+        // CNs manage allocation, versions, and retries themselves
+        // (§2.3: "CNs use more cycles to process and manage memory").
+        return 1.15;
+      case SystemKind::kRdma:
+        return 1.1; // MR management and connection upkeep
+      default:
+        return 1.0;
+    }
+}
+
+EnergyBreakdown
+perRequestEnergy(const EnergyConfig &cfg, SystemKind kind, Tick runtime,
+                 std::uint64_t requests)
+{
+    clio_assert(requests > 0, "energy for zero requests");
+    const double seconds = ticksToSeconds(runtime);
+    const double per_req = seconds / static_cast<double>(requests);
+    EnergyBreakdown out;
+    // CN side: only the client's active share of the server is
+    // attributed to this workload.
+    out.cn_mj = cfg.cn_server_watts * cfg.cn_core_fraction *
+                cnShareMultiplier(kind) * per_req * 1e3;
+    out.mn_mj = mnPowerWatts(cfg, kind) * per_req * 1e3;
+    return out;
+}
+
+} // namespace clio

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Energy accounting (§7.3, Fig. 21).
+ *
+ * The paper measures whole-node energy per YCSB request: power draw of
+ * the involved nodes times runtime, divided by requests served. The
+ * rankings come from two levers this model captures:
+ *  - what the MN is (CBoard 25 W vs CPU server 250 W vs BlueField
+ *    75 W vs passive raw memory 90 W);
+ *  - how long the run takes (slower systems burn their power longer;
+ *    HERD-BF is "low power" yet costs the most energy per request
+ *    because it is slow).
+ */
+
+#ifndef CLIO_ENERGY_ENERGY_HH
+#define CLIO_ENERGY_ENERGY_HH
+
+#include <string>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace clio {
+
+/** The systems compared in Fig. 21. */
+enum class SystemKind {
+    kClio,
+    kClover,
+    kHerd,
+    kHerdBluefield,
+    kLegoOs,
+    kRdma,
+};
+
+const char *systemName(SystemKind kind);
+
+/** Energy split per request, in millijoules. */
+struct EnergyBreakdown
+{
+    double cn_mj = 0;
+    double mn_mj = 0;
+    double total() const { return cn_mj + mn_mj; }
+};
+
+/** MN-side power draw of a system, in watts. */
+double mnPowerWatts(const EnergyConfig &cfg, SystemKind kind);
+
+/** CN-side *active share* multiplier: passive-memory systems push
+ * management work onto CN CPUs (§2.3), burning more CN cycles. */
+double cnShareMultiplier(SystemKind kind);
+
+/**
+ * Energy per request for a run that served `requests` requests in
+ * `runtime` of simulated time.
+ */
+EnergyBreakdown perRequestEnergy(const EnergyConfig &cfg, SystemKind kind,
+                                 Tick runtime, std::uint64_t requests);
+
+} // namespace clio
+
+#endif // CLIO_ENERGY_ENERGY_HH

@@ -1,0 +1,106 @@
+#include "net/network.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace clio {
+
+Network::Network(EventQueue &eq, const NetConfig &cfg, std::uint64_t seed)
+    : eq_(eq), cfg_(cfg), rng_(seed)
+{
+}
+
+NodeId
+Network::addNode(RxHandler rx, std::uint64_t link_bandwidth_bps)
+{
+    const NodeId id = static_cast<NodeId>(ports_.size());
+    Port port;
+    port.rx = std::move(rx);
+    port.bandwidth_bps = link_bandwidth_bps ? link_bandwidth_bps
+                                            : cfg_.link_bandwidth_bps;
+    ports_.push_back(std::move(port));
+    return id;
+}
+
+void
+Network::send(Packet pkt)
+{
+    clio_assert(pkt.src < ports_.size() && pkt.dst < ports_.size(),
+                "send between unknown nodes %u -> %u", pkt.src, pkt.dst);
+    clio_assert(pkt.src != pkt.dst, "loopback packets not modeled");
+    stats_.sent++;
+
+    Port &src = ports_[pkt.src];
+    Port &dst = ports_[pkt.dst];
+
+    // --- Source NIC egress: serialize onto the host link. ---
+    const Tick now = eq_.now();
+    const Tick ser =
+        static_cast<Tick>(pkt.wire_bytes) * ticksPerByte(src.bandwidth_bps);
+    const Tick tx_start = std::max(now, src.tx_free);
+    const Tick tx_done = tx_start + ser;
+    src.tx_free = tx_done;
+
+    // --- In-flight faults. ---
+    if (rng_.chance(cfg_.loss_rate)) {
+        stats_.dropped_random++;
+        return;
+    }
+    if (rng_.chance(cfg_.corrupt_rate)) {
+        pkt.corrupted = true;
+        stats_.corrupted++;
+    }
+
+    // --- Switch output port toward the destination. ---
+    const Tick at_switch = tx_done + cfg_.link_propagation;
+    const Tick out_ser =
+        static_cast<Tick>(pkt.wire_bytes) * ticksPerByte(dst.bandwidth_bps);
+    const Tick out_start = std::max(at_switch, dst.switch_out_free);
+
+    // Queue occupancy check (incast drops unless lossless).
+    if (dst.queue_depth >= cfg_.switch_queue_packets && !cfg_.lossless) {
+        stats_.dropped_queue++;
+        return;
+    }
+    dst.queue_depth++;
+    // The forwarding latency is pipelined: it delays the packet but
+    // does not occupy the output port.
+    dst.switch_out_free = out_start + out_ser;
+    const Tick out_done =
+        out_start + out_ser + cfg_.switch_latency;
+
+    // --- Final hop to the destination NIC. ---
+    Tick deliver = out_done + cfg_.link_propagation;
+    if (cfg_.switch_jitter_mean > 0) {
+        deliver += static_cast<Tick>(rng_.exponential(
+            static_cast<double>(cfg_.switch_jitter_mean)));
+    }
+    if (rng_.chance(cfg_.reorder_rate)) {
+        deliver += cfg_.reorder_delay;
+        stats_.reordered++;
+    }
+
+    const NodeId dst_id = pkt.dst;
+    eq_.schedule(deliver, [this, dst_id, pkt = std::move(pkt)]() mutable {
+        Port &port = ports_[dst_id];
+        clio_assert(port.queue_depth > 0, "queue accounting underflow");
+        port.queue_depth--;
+        stats_.delivered++;
+        stats_.bytes_delivered += pkt.wire_bytes;
+        if (port.rx)
+            port.rx(std::move(pkt));
+    });
+}
+
+Tick
+Network::ingressBacklog(NodeId node) const
+{
+    clio_assert(node < ports_.size(), "unknown node");
+    const Port &port = ports_[node];
+    return port.switch_out_free > eq_.now()
+               ? port.switch_out_free - eq_.now()
+               : 0;
+}
+
+} // namespace clio

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Datacenter network model: nodes with full-duplex links to one ToR
+ * switch (§3.2's topology: CNs and CBoards all connect to a ToR).
+ *
+ * The model captures the effects the paper's transport design reacts
+ * to: per-link serialization (bandwidth), propagation and switching
+ * delay, output-queue contention at the switch (incast!), random
+ * loss/corruption/reordering for fault injection, and optional
+ * lossless (PFC-like) back-pressure instead of tail drop.
+ */
+
+#ifndef CLIO_NET_NETWORK_HH
+#define CLIO_NET_NETWORK_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/packet.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace clio {
+
+/** Aggregate network statistics (per Network instance). */
+struct NetStats
+{
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped_random = 0;
+    std::uint64_t dropped_queue = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t reordered = 0;
+    std::uint64_t bytes_delivered = 0;
+};
+
+/** The ToR-switched network connecting every node of a cluster. */
+class Network
+{
+  public:
+    using RxHandler = std::function<void(Packet)>;
+
+    Network(EventQueue &eq, const NetConfig &cfg, std::uint64_t seed);
+
+    /**
+     * Attach a node; returns its NodeId.
+     * @param rx   ingress handler invoked at delivery time.
+     * @param link_bandwidth_bps 0 = use the config default.
+     */
+    NodeId addNode(RxHandler rx, std::uint64_t link_bandwidth_bps = 0);
+
+    /**
+     * Transmit a packet from pkt.src to pkt.dst. Serialization starts
+     * when the source link is free; delivery happens via the event
+     * queue after switch traversal (or never, if dropped).
+     */
+    void send(Packet pkt);
+
+    /** Estimated queueing backlog of a node's ingress link, in ticks
+     * (diagnostic / congestion-observability hook). */
+    Tick ingressBacklog(NodeId node) const;
+
+    const NetStats &stats() const { return stats_; }
+    void resetStats() { stats_ = NetStats{}; }
+
+    const NetConfig &config() const { return cfg_; }
+
+  private:
+    struct Port
+    {
+        RxHandler rx;
+        std::uint64_t bandwidth_bps;
+        /** When the node's egress link becomes idle. */
+        Tick tx_free = 0;
+        /** When the switch's output link toward this node is idle. */
+        Tick switch_out_free = 0;
+        /** Packets currently queued at the switch output. */
+        std::uint32_t queue_depth = 0;
+    };
+
+    EventQueue &eq_;
+    NetConfig cfg_;
+    Rng rng_;
+    std::vector<Port> ports_;
+    NetStats stats_;
+};
+
+} // namespace clio
+
+#endif // CLIO_NET_NETWORK_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Link-layer packet and message abstractions (§4.4, §4.5 T1).
+ *
+ * A Message is one Clio request or response; CLib splits messages
+ * larger than the MTU into multiple link-layer packets, each carrying
+ * the full Clio header (sender/receiver, request id, type) plus the
+ * byte range of the payload it covers. Because every packet is
+ * self-describing, the MN can execute packets in any arrival order
+ * (out-of-order data placement) and the CN can reassemble responses.
+ */
+
+#ifndef CLIO_NET_PACKET_HH
+#define CLIO_NET_PACKET_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/types.hh"
+
+namespace clio {
+
+/** Base class for anything carried by the network. */
+struct Message
+{
+    virtual ~Message() = default;
+};
+
+/** Clio request/response types routed by the CBoard MAT (§3.2). */
+enum class MsgType : std::uint8_t {
+    kRead,      ///< fast path: byte-granularity read
+    kWrite,     ///< fast path: byte-granularity write
+    kAtomic,    ///< fast path + sync unit: TAS / FAA / CAS
+    kFence,     ///< sync unit: drain inflight, then ack
+    kAlloc,     ///< slow path: ralloc
+    kFree,      ///< slow path: rfree
+    kOffload,   ///< extend path: application offload invocation
+    kResponse,  ///< MN -> CN response (matches request id)
+    kNack,      ///< MN -> CN: link-layer corruption notice
+};
+
+/** Per-packet Clio header + payload view (the wire unit). */
+struct Packet
+{
+    NodeId src = 0;
+    NodeId dst = 0;
+    /** Request id this packet belongs to (response echoes it). */
+    ReqId req_id = 0;
+    MsgType type = MsgType::kRead;
+    /** Part index within the message and total part count. */
+    std::uint32_t part = 0;
+    std::uint32_t total_parts = 1;
+    /** Byte range of the message payload this packet carries. */
+    std::uint64_t payload_offset = 0;
+    std::uint32_t payload_len = 0;
+    /** Bytes on the wire (payload + headers), for serialization time. */
+    std::uint32_t wire_bytes = 0;
+    /** Set by the link model when the packet got corrupted in flight;
+     * the receiver's link layer detects this via checksum. */
+    bool corrupted = false;
+    /** The full message, shared by all its packets. */
+    std::shared_ptr<const Message> msg;
+};
+
+/** Link + Clio header overhead per packet (Ethernet 14+4, IP-ish 20,
+ * Clio header 24). */
+constexpr std::uint32_t kPacketHeaderBytes = 62;
+
+} // namespace clio
+
+#endif // CLIO_NET_PACKET_HH

@@ -1,0 +1,173 @@
+#include "pagetable/hash_page_table.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sim/logging.hh"
+
+namespace clio {
+
+std::uint64_t
+jenkinsHash(ProcId pid, std::uint64_t vpn)
+{
+    // Jenkins one-at-a-time over the 12 key bytes (4 pid + 8 vpn).
+    std::uint8_t key[12];
+    for (int i = 0; i < 4; i++)
+        key[i] = static_cast<std::uint8_t>(pid >> (8 * i));
+    for (int i = 0; i < 8; i++)
+        key[4 + i] = static_cast<std::uint8_t>(vpn >> (8 * i));
+
+    std::uint64_t hash = 0;
+    for (std::uint8_t byte : key) {
+        hash += byte;
+        hash += hash << 10;
+        hash ^= hash >> 6;
+    }
+    hash += hash << 3;
+    hash ^= hash >> 11;
+    hash += hash << 15;
+    return hash;
+}
+
+HashPageTable::HashPageTable(std::uint64_t phys_bytes,
+                             std::uint64_t page_size,
+                             std::uint32_t bucket_slots,
+                             double overprovision)
+    : bucket_slots_(bucket_slots)
+{
+    clio_assert(bucket_slots > 0, "bucket must have at least one slot");
+    clio_assert(overprovision >= 1.0, "overprovision factor below 1");
+    const std::uint64_t phys_pages =
+        std::max<std::uint64_t>(1, phys_bytes / page_size);
+    const auto total_slots = static_cast<std::uint64_t>(
+        static_cast<double>(phys_pages) * overprovision);
+    bucket_count_ =
+        std::max<std::uint64_t>(1, (total_slots + bucket_slots - 1) /
+                                       bucket_slots);
+    slots_.resize(bucket_count_ * bucket_slots_);
+}
+
+std::uint64_t
+HashPageTable::bucketOf(ProcId pid, std::uint64_t vpn) const
+{
+    return jenkinsHash(pid, vpn) % bucket_count_;
+}
+
+Pte *
+HashPageTable::lookup(ProcId pid, std::uint64_t vpn)
+{
+    const std::uint64_t base = bucketOf(pid, vpn) * bucket_slots_;
+    for (std::uint32_t i = 0; i < bucket_slots_; i++) {
+        Pte &pte = slots_[base + i];
+        if (pte.matches(pid, vpn))
+            return &pte;
+    }
+    return nullptr;
+}
+
+const Pte *
+HashPageTable::lookup(ProcId pid, std::uint64_t vpn) const
+{
+    return const_cast<HashPageTable *>(this)->lookup(pid, vpn);
+}
+
+std::uint32_t
+HashPageTable::freeSlotsInBucket(ProcId pid, std::uint64_t vpn) const
+{
+    const std::uint64_t base = bucketOf(pid, vpn) * bucket_slots_;
+    std::uint32_t free = 0;
+    for (std::uint32_t i = 0; i < bucket_slots_; i++) {
+        if (!slots_[base + i].valid)
+            free++;
+    }
+    return free;
+}
+
+bool
+HashPageTable::canInsert(ProcId pid,
+                         std::span<const std::uint64_t> vpns) const
+{
+    // Multiple pages of one candidate range can hash to the same
+    // bucket, so count demand per bucket before comparing with supply.
+    std::unordered_map<std::uint64_t, std::uint32_t> demand;
+    demand.reserve(vpns.size());
+    for (std::uint64_t vpn : vpns)
+        demand[bucketOf(pid, vpn)]++;
+    for (const auto &[bucket, need] : demand) {
+        const std::uint64_t base = bucket * bucket_slots_;
+        std::uint32_t free = 0;
+        for (std::uint32_t i = 0; i < bucket_slots_; i++) {
+            if (!slots_[base + i].valid)
+                free++;
+        }
+        if (free < need)
+            return false;
+    }
+    return true;
+}
+
+void
+HashPageTable::insert(ProcId pid, std::uint64_t vpn, std::uint8_t perm)
+{
+    const std::uint64_t base = bucketOf(pid, vpn) * bucket_slots_;
+    Pte *free_slot = nullptr;
+    for (std::uint32_t i = 0; i < bucket_slots_; i++) {
+        Pte &pte = slots_[base + i];
+        clio_assert(!pte.matches(pid, vpn),
+                    "duplicate PTE insert pid=%u vpn=%llu", pid,
+                    (unsigned long long)vpn);
+        if (!pte.valid && !free_slot)
+            free_slot = &pte;
+    }
+    // A full bucket here means the VA allocator's overflow-free
+    // invariant was violated: that is a bug, not a runtime condition.
+    clio_assert(free_slot != nullptr,
+                "hash bucket overflow pid=%u vpn=%llu (allocator "
+                "invariant broken)", pid, (unsigned long long)vpn);
+    free_slot->pid = pid;
+    free_slot->vpn = vpn;
+    free_slot->perm = perm;
+    free_slot->frame = 0;
+    free_slot->valid = true;
+    free_slot->present = false;
+    live_entries_++;
+}
+
+Pte
+HashPageTable::remove(ProcId pid, std::uint64_t vpn)
+{
+    Pte *pte = lookup(pid, vpn);
+    clio_assert(pte != nullptr, "removing absent PTE pid=%u vpn=%llu",
+                pid, (unsigned long long)vpn);
+    Pte out = *pte;
+    *pte = Pte{};
+    live_entries_--;
+    return out;
+}
+
+void
+HashPageTable::bindFrame(ProcId pid, std::uint64_t vpn, PhysAddr frame)
+{
+    Pte *pte = lookup(pid, vpn);
+    clio_assert(pte != nullptr, "binding frame to absent PTE");
+    clio_assert(!pte->present, "rebinding an already-present PTE");
+    pte->frame = frame;
+    pte->present = true;
+}
+
+std::uint32_t
+HashPageTable::maxBucketFill() const
+{
+    std::uint32_t max_fill = 0;
+    for (std::uint64_t b = 0; b < bucket_count_; b++) {
+        std::uint32_t fill = 0;
+        for (std::uint32_t i = 0; i < bucket_slots_; i++) {
+            if (slots_[b * bucket_slots_ + i].valid)
+                fill++;
+        }
+        max_fill = std::max(max_fill, fill);
+    }
+    return max_fill;
+}
+
+} // namespace clio

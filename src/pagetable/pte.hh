@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Page table entry layout shared by the hash page table, the TLB, and
+ * the slow-path shadow table.
+ */
+
+#ifndef CLIO_PAGETABLE_PTE_HH
+#define CLIO_PAGETABLE_PTE_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace clio {
+
+/** Access permission bits carried in each PTE (checked in the fast
+ * path together with translation, §3.2). */
+enum Perm : std::uint8_t {
+    kPermNone = 0,
+    kPermRead = 1 << 0,
+    kPermWrite = 1 << 1,
+    kPermReadWrite = kPermRead | kPermWrite,
+};
+
+/**
+ * One page table entry. A PTE exists from VA allocation time; it only
+ * becomes `present` when the first access faults and the fast path
+ * binds a physical frame to it (§4.3).
+ */
+struct Pte
+{
+    /** Owning process (global PID); part of the hash key. */
+    ProcId pid = 0;
+    /** Virtual page number within the process' RAS; part of the key. */
+    std::uint64_t vpn = 0;
+    /** Base physical address of the bound frame (valid iff present). */
+    PhysAddr frame = 0;
+    /** Permission bits for this page. */
+    std::uint8_t perm = kPermNone;
+    /** Slot holds a live entry (allocated VA). */
+    bool valid = false;
+    /** Physical frame bound (first access already happened). */
+    bool present = false;
+
+    bool
+    matches(ProcId p, std::uint64_t v) const
+    {
+        return valid && pid == p && vpn == v;
+    }
+};
+
+} // namespace clio
+
+#endif // CLIO_PAGETABLE_PTE_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * On-chip TLB model (§4.2): a fixed-size content-addressable store of
+ * recently used PTEs with LRU replacement. Lookup is a single fast-path
+ * cycle; a miss costs exactly one DRAM bucket fetch from the hash page
+ * table.
+ */
+
+#ifndef CLIO_PAGETABLE_TLB_HH
+#define CLIO_PAGETABLE_TLB_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "pagetable/pte.hh"
+#include "sim/types.hh"
+
+namespace clio {
+
+/** Fixed-capacity fully-associative LRU TLB. */
+class Tlb
+{
+  public:
+    explicit Tlb(std::uint32_t capacity);
+
+    /**
+     * Look up (pid, vpn); promotes the entry to MRU on hit.
+     * @return cached copy of the PTE, or nullptr on miss. The pointer
+     *         stays valid until the next mutating call.
+     */
+    const Pte *lookup(ProcId pid, std::uint64_t vpn);
+
+    /** Insert (or overwrite) an entry, evicting LRU when full. */
+    void insert(const Pte &pte);
+
+    /**
+     * Update a cached entry in place if it exists (used when a PTE
+     * changes, keeping TLB and page table consistent, §4.2).
+     */
+    void update(const Pte &pte);
+
+    /** Drop one entry if cached (rfree / remap). */
+    void invalidate(ProcId pid, std::uint64_t vpn);
+
+    /** Drop every entry of one process (address space teardown). */
+    void invalidateProcess(ProcId pid);
+
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint32_t size() const {
+        return static_cast<std::uint32_t>(map_.size());
+    }
+
+    /** @{ Hit/miss counters for stats and benches. */
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    /** @} */
+
+    void
+    resetStats()
+    {
+        hits_ = 0;
+        misses_ = 0;
+    }
+
+  private:
+    struct Key
+    {
+        ProcId pid;
+        std::uint64_t vpn;
+        bool operator==(const Key &) const = default;
+    };
+
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            // Mix pid into the vpn with a 64-bit multiply-shift.
+            std::uint64_t x = k.vpn * 0x9E3779B97F4A7C15ull + k.pid;
+            x ^= x >> 32;
+            return static_cast<std::size_t>(x);
+        }
+    };
+
+    struct Entry
+    {
+        Pte pte;
+        std::list<Key>::iterator lru_pos;
+    };
+
+    std::uint32_t capacity_;
+    std::unordered_map<Key, Entry, KeyHash> map_;
+    /** Front = MRU, back = LRU. */
+    std::list<Key> lru_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace clio
+
+#endif // CLIO_PAGETABLE_TLB_HH

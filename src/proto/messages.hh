@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Clio request/response message definitions (the "wire protocol"
+ * between CLib at CNs and CBoards at MNs, §3.1/§4.4).
+ *
+ * A request carries everything the MN needs to process it in isolation
+ * (Principle 5): pid, full addressing, operation arguments, and — for
+ * retries — the id of the original attempt so the MN's dedup buffer
+ * can suppress double execution (§4.5 T4).
+ */
+
+#ifndef CLIO_PROTO_MESSAGES_HH
+#define CLIO_PROTO_MESSAGES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hh"
+#include "sim/types.hh"
+
+namespace clio {
+
+/** Atomic operations executed by the MN synchronization unit (T3). */
+enum class AtomicOp : std::uint8_t {
+    kTestAndSet, ///< rlock acquire: returns old value, sets to 1
+    kStore,      ///< runlock release: unconditional store
+    kFetchAdd,   ///< general-purpose fetch-and-add
+    kCompareSwap ///< general-purpose CAS
+};
+
+/** Completion status returned by the MN. */
+enum class Status : std::uint8_t {
+    kOk,
+    kBadAddress,     ///< VA not allocated (no PTE)
+    kPermDenied,     ///< permission check failed in the fast path
+    kOutOfMemory,    ///< allocation could not be satisfied
+    kRetryExceeded,  ///< CLib-side: all retries timed out
+    kCorrupt,        ///< NACK: link-layer checksum failure at the MN
+    kOffloadError,   ///< extend-path offload rejected the call
+};
+
+/** One Clio request (CN -> MN). */
+struct RequestMsg : Message
+{
+    MsgType type = MsgType::kRead;
+    /** Global process id the request acts for (§3.1). */
+    ProcId pid = 0;
+    /** This attempt's unique id. */
+    ReqId req_id = 0;
+    /** First attempt's id; == req_id on the first try. A retry keeps
+     * the original id here so the MN can deduplicate (T4). */
+    ReqId orig_req_id = 0;
+    /** Issuing CN's network node. */
+    NodeId src = 0;
+    /** Target MN's network node. */
+    NodeId dst = 0;
+
+    /** Target VA (read/write/atomic/free) within the pid's RAS. */
+    VirtAddr addr = 0;
+    /** Length in bytes (read size, write size, alloc size). */
+    std::uint64_t size = 0;
+    /** Write payload (size bytes) — carried sliced across packets. */
+    std::vector<std::uint8_t> data;
+
+    /** @{ Atomic arguments. */
+    AtomicOp aop = AtomicOp::kTestAndSet;
+    std::uint64_t arg0 = 0; ///< store value / addend / CAS expected
+    std::uint64_t arg1 = 0; ///< CAS desired
+    /** @} */
+
+    /** Allocation permissions (kAlloc). */
+    std::uint8_t perm = 0;
+    /** kAlloc: eagerly bind physical frames (pre-populated allocation,
+     * Fig. 12's Clio-Alloc-Phys series). */
+    bool populate = false;
+
+    /** @{ Extend-path offload invocation (kOffload). */
+    std::uint32_t offload_id = 0;
+    std::vector<std::uint8_t> offload_arg;
+    /** @} */
+
+    /** Optional per-request retry-timeout override (0 = use the
+     * config default for the request class). Long-running offloads
+     * (e.g. full-table scans) set this. */
+    Tick timeout_override = 0;
+};
+
+/** One Clio response (MN -> CN); echoes the request id. */
+struct ResponseMsg : Message
+{
+    ReqId req_id = 0;
+    Status status = Status::kOk;
+    /** Read data / offload result payload. */
+    std::vector<std::uint8_t> data;
+    /** Scalar result: allocated VA, atomic's old value, etc. */
+    std::uint64_t value = 0;
+};
+
+/** Wire size of a request (headers + inline payload). */
+inline std::uint64_t
+requestWireBytes(const RequestMsg &req)
+{
+    std::uint64_t payload = 0;
+    switch (req.type) {
+      case MsgType::kWrite:
+        payload = req.size;
+        break;
+      case MsgType::kOffload:
+        payload = req.offload_arg.size();
+        break;
+      default:
+        payload = 0;
+    }
+    return payload + 40; // fixed Clio request descriptor
+}
+
+/** Wire size of a response (headers + payload). */
+inline std::uint64_t
+responseWireBytes(const ResponseMsg &resp)
+{
+    return resp.data.size() + 24; // fixed Clio response descriptor
+}
+
+} // namespace clio
+
+#endif // CLIO_PROTO_MESSAGES_HH

@@ -1,0 +1,64 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace clio {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    clio_assert(when >= now_,
+                "scheduling into the past: when=%llu now=%llu",
+                static_cast<unsigned long long>(when),
+                static_cast<unsigned long long>(now_));
+    heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+bool
+EventQueue::runOne()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; move the callback out via a copy of
+    // the small Event struct instead of mutating in place.
+    Event ev = std::move(const_cast<Event &>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    executed_++;
+    ev.cb();
+    return true;
+}
+
+void
+EventQueue::runAll(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (n < max_events && runOne())
+        n++;
+}
+
+bool
+EventQueue::runUntil(const std::function<bool()> &pred,
+                     std::uint64_t max_events)
+{
+    if (pred())
+        return true;
+    std::uint64_t n = 0;
+    while (n < max_events && runOne()) {
+        n++;
+        if (pred())
+            return true;
+    }
+    return false;
+}
+
+void
+EventQueue::runUntilTime(Tick t)
+{
+    while (!heap_.empty() && heap_.top().when <= t)
+        runOne();
+    if (t > now_)
+        now_ = t;
+}
+
+} // namespace clio

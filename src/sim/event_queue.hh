@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * A single EventQueue instance drives one simulated cluster. Components
+ * schedule callbacks at absolute or relative simulated times; the queue
+ * executes them in (time, insertion order) order, so same-tick events are
+ * deterministic FIFO.
+ *
+ * There is deliberately no cancellation API: events that may become
+ * stale (e.g. retransmission timeouts) carry a generation counter in
+ * their closure and turn into no-ops when the state has moved on. This
+ * keeps the queue a plain binary heap with O(log n) operations.
+ */
+
+#ifndef CLIO_SIM_EVENT_QUEUE_HH
+#define CLIO_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace clio {
+
+/** Minimal event-driven simulation kernel (one per simulated cluster). */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule a callback at absolute tick `when` (>= now). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule a callback `delay` ticks from now. */
+    void scheduleAfter(Tick delay, Callback cb) {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** True if no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /**
+     * Execute the earliest pending event, advancing simulated time.
+     * @retval true an event was executed, false if the queue was empty.
+     */
+    bool runOne();
+
+    /** Run events until the queue drains or `max_events` were executed. */
+    void runAll(std::uint64_t max_events = ~std::uint64_t(0));
+
+    /**
+     * Run events until the predicate turns true (checked after every
+     * event), the queue drains, or `max_events` were executed.
+     * @retval true the predicate was satisfied.
+     */
+    bool runUntil(const std::function<bool()> &pred,
+                  std::uint64_t max_events = ~std::uint64_t(0));
+
+    /** Run all events scheduled at or before tick `t`, then set now=t. */
+    void runUntilTime(Tick t);
+
+    /** Total events executed since construction (for sanity checks). */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace clio
+
+#endif // CLIO_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,79 @@
+#include "sim/report.hh"
+
+#include <cinttypes>
+
+#include "cluster/cluster.hh"
+
+namespace clio {
+
+void
+printClusterReport(Cluster &cluster, std::FILE *out)
+{
+    std::fprintf(out, "=== cluster report @ %.3f ms simulated ===\n",
+                 ticksToUs(cluster.eventQueue().now()) / 1000.0);
+
+    const NetStats &net = cluster.network().stats();
+    std::fprintf(out,
+                 "network: sent=%" PRIu64 " delivered=%" PRIu64
+                 " dropped=%" PRIu64 " corrupted=%" PRIu64
+                 " reordered=%" PRIu64 " bytes=%" PRIu64 "\n",
+                 net.sent, net.delivered,
+                 net.dropped_random + net.dropped_queue, net.corrupted,
+                 net.reordered, net.bytes_delivered);
+
+    for (std::uint32_t i = 0; i < cluster.cnCount(); i++) {
+        const CNodeStats &cn = cluster.cn(i).stats();
+        std::fprintf(out,
+                     "CN%-2u: requests=%" PRIu64 " responses=%" PRIu64
+                     " retries=%" PRIu64 " timeouts=%" PRIu64
+                     " nacks=%" PRIu64 " failures=%" PRIu64
+                     " rtt_p50=%.2fus rtt_p99=%.2fus\n",
+                     i, cn.requests, cn.responses, cn.retries,
+                     cn.timeouts, cn.nacks, cn.failures,
+                     ticksToUs(cluster.cn(i).rttHistogram().median()),
+                     ticksToUs(cluster.cn(i).rttHistogram().p99()));
+    }
+    for (std::uint32_t i = 0; i < cluster.mnCount(); i++) {
+        CBoard &mn = cluster.mn(i);
+        const CBoardStats &st = mn.stats();
+        std::fprintf(out,
+                     "MN%-2u: reads=%" PRIu64 " writes=%" PRIu64
+                     " atomics=%" PRIu64 " allocs=%" PRIu64
+                     " frees=%" PRIu64 " offloads=%" PRIu64
+                     " faults=%" PRIu64 " tlb_hit=%.1f%%"
+                     " pressure=%.0f%% pt_fill=%" PRIu64 "/%" PRIu64
+                     "\n",
+                     i, st.reads, st.writes, st.atomics, st.allocs,
+                     st.frees, st.offload_calls, st.page_faults,
+                     mn.tlb().hits() + mn.tlb().misses()
+                         ? 100.0 * static_cast<double>(mn.tlb().hits()) /
+                               static_cast<double>(mn.tlb().hits() +
+                                                   mn.tlb().misses())
+                         : 0.0,
+                     100.0 * mn.memoryPressure(),
+                     mn.pageTable().liveEntries(),
+                     mn.pageTable().totalSlots());
+    }
+}
+
+std::string
+clusterSummaryLine(Cluster &cluster)
+{
+    std::uint64_t reads = 0, writes = 0, faults = 0, retries = 0;
+    for (std::uint32_t i = 0; i < cluster.mnCount(); i++) {
+        reads += cluster.mn(i).stats().reads;
+        writes += cluster.mn(i).stats().writes;
+        faults += cluster.mn(i).stats().page_faults;
+    }
+    for (std::uint32_t i = 0; i < cluster.cnCount(); i++)
+        retries += cluster.cn(i).stats().retries;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%" PRIu64 " reads, %" PRIu64 " writes, %" PRIu64
+                  " faults, %" PRIu64 " retries in %.3f ms",
+                  reads, writes, faults, retries,
+                  ticksToUs(cluster.eventQueue().now()) / 1000.0);
+    return buf;
+}
+
+} // namespace clio

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Human-readable cluster reports: dumps every node's counters (CN
+ * transport, MN fast/slow path, TLB, network) as an aligned table —
+ * the observability layer the benches and examples use to explain
+ * what the simulated hardware did.
+ */
+
+#ifndef CLIO_SIM_REPORT_HH
+#define CLIO_SIM_REPORT_HH
+
+#include <cstdio>
+#include <string>
+
+namespace clio {
+
+class Cluster;
+
+/** Render a full cluster status report to `out` (default stdout). */
+void printClusterReport(Cluster &cluster, std::FILE *out = stdout);
+
+/** One-line summary: ops, bytes, retries, faults, sim time. */
+std::string clusterSummaryLine(Cluster &cluster);
+
+} // namespace clio
+
+#endif // CLIO_SIM_REPORT_HH

@@ -1,0 +1,121 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace clio {
+
+LatencyHistogram::LatencyHistogram()
+    : buckets_(static_cast<std::size_t>(kBands) * kSubBuckets, 0),
+      count_(0), min_(kTickMax), max_(0), sum_(0.0)
+{
+}
+
+int
+LatencyHistogram::bucketIndex(Tick value)
+{
+    if (value < kSubBuckets) {
+        // Band 0 is exact: one bucket per value below kSubBuckets.
+        return static_cast<int>(value);
+    }
+    const int msb = 63 - std::countl_zero(value);
+    const int band = msb - kSubBucketBits + 1;
+    const int sub =
+        static_cast<int>((value >> (msb - kSubBucketBits)) &
+                         (kSubBuckets - 1));
+    // Bands above 0 use the sub-bucket field; the leading 1 bit is
+    // implicit, so `sub` covers [0, kSubBuckets).
+    int index = band * kSubBuckets + sub;
+    const int last = kBands * kSubBuckets - 1;
+    return index > last ? last : index;
+}
+
+Tick
+LatencyHistogram::bucketUpperEdge(int index)
+{
+    const int band = index / kSubBuckets;
+    const int sub = index % kSubBuckets;
+    if (band == 0)
+        return static_cast<Tick>(sub);
+    const int msb = band + kSubBucketBits - 1;
+    const Tick base = Tick(1) << msb;
+    const Tick step = Tick(1) << (msb - kSubBucketBits);
+    return base + step * static_cast<Tick>(sub + 1) - 1;
+}
+
+void
+LatencyHistogram::record(Tick value)
+{
+    buckets_[static_cast<std::size_t>(bucketIndex(value))]++;
+    count_++;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    sum_ += static_cast<double>(value);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (std::size_t i = 0; i < buckets_.size(); i++)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+}
+
+void
+LatencyHistogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    min_ = kTickMax;
+    max_ = 0;
+    sum_ = 0.0;
+}
+
+double
+LatencyHistogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+Tick
+LatencyHistogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    clio_assert(p >= 0.0 && p <= 100.0, "percentile out of range: %f", p);
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    const std::uint64_t target = rank == 0 ? 1 : rank;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); i++) {
+        seen += buckets_[i];
+        if (seen >= target) {
+            const Tick edge = bucketUpperEdge(static_cast<int>(i));
+            // Never report beyond the true max.
+            return std::min(edge, max_);
+        }
+    }
+    return max_;
+}
+
+std::vector<std::pair<Tick, double>>
+LatencyHistogram::cdf(int points) const
+{
+    std::vector<std::pair<Tick, double>> out;
+    if (count_ == 0)
+        return out;
+    out.reserve(static_cast<std::size_t>(points));
+    for (int i = 1; i <= points; i++) {
+        const double frac = static_cast<double>(i) / points;
+        out.emplace_back(percentile(frac * 100.0), frac);
+    }
+    return out;
+}
+
+} // namespace clio

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Statistics collection: log-linear latency histograms with percentile
+ * queries (HDR-histogram style) and simple throughput accounting.
+ */
+
+#ifndef CLIO_SIM_STATS_HH
+#define CLIO_SIM_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace clio {
+
+/**
+ * Fixed-memory histogram of tick values with ~1.6% value resolution.
+ *
+ * Values are bucketed log-linearly: the exponent selects a power-of-two
+ * band and the next kSubBucketBits bits select a linear sub-bucket, like
+ * HdrHistogram. Percentile queries return the upper edge of the bucket
+ * containing the requested rank, so reported percentiles never
+ * under-state the latency.
+ */
+class LatencyHistogram
+{
+  public:
+    LatencyHistogram();
+
+    /** Record one sample. */
+    void record(Tick value);
+
+    /** Merge another histogram into this one. */
+    void merge(const LatencyHistogram &other);
+
+    /** Remove all samples. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    Tick min() const { return count_ ? min_ : 0; }
+    Tick max() const { return max_; }
+    double mean() const;
+
+    /** Value at percentile p in [0, 100]. */
+    Tick percentile(double p) const;
+
+    Tick median() const { return percentile(50.0); }
+    Tick p99() const { return percentile(99.0); }
+
+    /**
+     * Sampled CDF with `points` evenly spaced percentile steps, as
+     * (value, cumulative fraction) pairs — e.g. for Fig. 7.
+     */
+    std::vector<std::pair<Tick, double>> cdf(int points = 100) const;
+
+  private:
+    static constexpr int kSubBucketBits = 6;
+    static constexpr int kSubBuckets = 1 << kSubBucketBits;
+    static constexpr int kBands = 64 - kSubBucketBits;
+
+    static int bucketIndex(Tick value);
+    static Tick bucketUpperEdge(int index);
+
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_;
+    Tick min_;
+    Tick max_;
+    double sum_;
+};
+
+/** Accumulates bytes moved over simulated time and reports Gbps. */
+class ThroughputMeter
+{
+  public:
+    void
+    record(std::uint64_t bytes)
+    {
+        bytes_ += bytes;
+        ops_ += 1;
+    }
+
+    std::uint64_t bytes() const { return bytes_; }
+    std::uint64_t ops() const { return ops_; }
+
+    /** Goodput in Gbps over the elapsed tick interval. */
+    double
+    gbps(Tick elapsed) const
+    {
+        if (elapsed == 0)
+            return 0.0;
+        return static_cast<double>(bytes_) * 8.0 /
+               ticksToSeconds(elapsed) / 1e9;
+    }
+
+    /** Million operations per second over the elapsed interval. */
+    double
+    mops(Tick elapsed) const
+    {
+        if (elapsed == 0)
+            return 0.0;
+        return static_cast<double>(ops_) / ticksToSeconds(elapsed) / 1e6;
+    }
+
+    void
+    reset()
+    {
+        bytes_ = 0;
+        ops_ = 0;
+    }
+
+  private:
+    std::uint64_t bytes_ = 0;
+    std::uint64_t ops_ = 0;
+};
+
+} // namespace clio
+
+#endif // CLIO_SIM_STATS_HH

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Tests for the comparison-system models: RDMA RNIC caches / ODP /
+ * MR limits, LegoOS, Clover, HERD(-BF), energy and FPGA-resource
+ * estimators. Assertions encode the paper's qualitative shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "baselines/rdma.hh"
+#include "baselines/systems.hh"
+#include "cluster/cluster.hh"
+#include "energy/energy.hh"
+#include "energy/resources.hh"
+
+namespace clio {
+namespace {
+
+ModelConfig
+cfg()
+{
+    return ModelConfig::prototype();
+}
+
+TEST(NicCache, LruBehaviour)
+{
+    NicCache cache(2);
+    EXPECT_FALSE(cache.touch(1));
+    EXPECT_FALSE(cache.touch(2));
+    EXPECT_TRUE(cache.touch(1));
+    EXPECT_FALSE(cache.touch(3)); // evicts 2
+    EXPECT_FALSE(cache.touch(2));
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(Rdma, FunctionalDataRoundTrip)
+{
+    RdmaMemoryNode node(cfg(), 64 * MiB);
+    Tick reg_lat = 0;
+    auto mr = node.registerMr(1 * MiB, false, reg_lat);
+    ASSERT_TRUE(mr.has_value());
+    EXPECT_GT(reg_lat, 0u);
+    QpId qp = node.createQp();
+
+    std::vector<std::uint8_t> data(4096);
+    for (std::size_t i = 0; i < data.size(); i++)
+        data[i] = static_cast<std::uint8_t>(i);
+    auto w = node.write(qp, *mr, 100, data.data(), data.size());
+    ASSERT_TRUE(w.ok);
+    std::vector<std::uint8_t> out(4096);
+    auto r = node.read(qp, *mr, 100, out.data(), out.size());
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(out, data);
+}
+
+TEST(Rdma, QpCacheMissRaisesLatency)
+{
+    RdmaMemoryNode node(cfg(), 64 * MiB);
+    Tick lat = 0;
+    auto mr = node.registerMr(4 * MiB, false, lat);
+    ASSERT_TRUE(mr);
+    // More QPs than the cache holds: round-robin over 2x capacity
+    // forces a miss on (nearly) every access.
+    const std::uint32_t n = cfg().rdma.qp_cache_entries * 2;
+    std::vector<QpId> qps;
+    for (std::uint32_t i = 0; i < n; i++)
+        qps.push_back(node.createQp());
+    std::uint64_t v = 0;
+    Tick few_total = 0, many_total = 0;
+    for (int i = 0; i < 200; i++) {
+        auto res = node.read(qps[0], *mr, 0, &v, 8);
+        few_total += res.latency;
+    }
+    for (int i = 0; i < 200; i++) {
+        auto res = node.read(qps[static_cast<std::size_t>(i) * 7 %
+                                 qps.size()],
+                             *mr, 0, &v, 8);
+        many_total += res.latency;
+    }
+    // Fig. 4 shape: many active QPs are clearly slower.
+    EXPECT_GT(many_total, few_total + 100 * cfg().rdma.pcie_dram_access);
+}
+
+TEST(Rdma, PteCacheScalability)
+{
+    auto c = cfg();
+    RdmaMemoryNode node(c, 1 * GiB);
+    Tick lat = 0;
+    auto mr = node.registerMr(512 * MiB, false, lat); // 128K host pages
+    ASSERT_TRUE(mr);
+    QpId qp = node.createQp();
+    std::uint64_t v = 0;
+    Rng rng(3);
+
+    // Working set smaller than the MTT cache: fast.
+    Tick small_total = 0;
+    for (int i = 0; i < 300; i++) {
+        const std::uint64_t page = rng.uniformInt(512);
+        small_total +=
+            node.read(qp, *mr, page * RdmaMemoryNode::kHostPage, &v, 8)
+                .latency;
+    }
+    // Working set >> cache: every access misses (Fig. 5).
+    Tick big_total = 0;
+    for (int i = 0; i < 300; i++) {
+        const std::uint64_t page = rng.uniformInt(128 * 1024);
+        big_total +=
+            node.read(qp, *mr, page * RdmaMemoryNode::kHostPage, &v, 8)
+                .latency;
+    }
+    EXPECT_GT(big_total, small_total);
+}
+
+TEST(Rdma, MrLimitEnforced)
+{
+    auto c = cfg();
+    c.rdma.max_mrs = 64; // scaled-down limit for test speed
+    RdmaMemoryNode node(c, 1 * GiB);
+    Tick lat = 0;
+    int created = 0;
+    while (node.registerMr(4 * KiB, false, lat))
+        created++;
+    EXPECT_EQ(created, 64);
+}
+
+TEST(Rdma, OdpPageFaultIsCatastrophic)
+{
+    RdmaMemoryNode node(cfg(), 64 * MiB);
+    Tick lat = 0;
+    auto pinned = node.registerMr(4 * MiB, false, lat);
+    const Tick pinned_reg = lat;
+    auto odp = node.registerMr(4 * MiB, true, lat);
+    EXPECT_LT(lat, pinned_reg); // ODP registration is cheap
+    ASSERT_TRUE(pinned && odp);
+    QpId qp = node.createQp();
+    std::uint64_t v = 1;
+
+    auto warm = node.write(qp, *pinned, 0, &v, 8);
+    EXPECT_FALSE(warm.page_fault);
+
+    auto faulting = node.write(qp, *odp, 0, &v, 8);
+    EXPECT_TRUE(faulting.page_fault);
+    // §2.2: a faulting access is ~14100x slower; at least 1000x here.
+    EXPECT_GT(faulting.latency, warm.latency * 1000);
+
+    auto again = node.write(qp, *odp, 0, &v, 8);
+    EXPECT_FALSE(again.page_fault);
+}
+
+TEST(Rdma, RegistrationCostGrowsWithSize)
+{
+    RdmaMemoryNode node(cfg(), 4 * GiB);
+    Tick small_lat = 0, big_lat = 0;
+    auto a = node.registerMr(4 * MiB, false, small_lat);
+    auto b = node.registerMr(1 * GiB, false, big_lat);
+    ASSERT_TRUE(a && b);
+    EXPECT_GT(big_lat, small_lat * 5); // Fig. 12 growth
+    EXPECT_GT(node.deregisterMr(*b), node.deregisterMr(*a));
+}
+
+TEST(Systems, LegoOsSlowerThanClioFastPath)
+{
+    // Fig. 10: LegoOS ~2x Clio at small sizes (software MN).
+    LegoOsModel lego(cfg());
+    const Tick lat = lego.readLatency(16);
+    EXPECT_GT(ticksToUs(lat), 3.0);
+    EXPECT_LT(ticksToUs(lat), 8.0);
+    EXPECT_NEAR(lego.peakGbps(), 77.0, 0.1);
+}
+
+TEST(Systems, CloverNeedsMultipleRtts)
+{
+    // §2.3: passive memory makes every structured operation a chain
+    // of dependent round trips — both reads (index -> header -> data)
+    // and writes (out-of-place data + metadata CAS).
+    auto c = cfg();
+    CloverModel clover(c);
+    const Tick one_rtt = wireRoundTrip(c.net, 16, 16) +
+                         2 * c.rdma.nic_processing;
+    Tick read_total = 0, write_total = 0;
+    for (int i = 0; i < 100; i++) {
+        read_total += clover.readLatency(16);
+        write_total += clover.writeLatency(16);
+    }
+    EXPECT_GT(read_total / 100, 2 * one_rtt);
+    EXPECT_GT(write_total / 100, 2 * one_rtt);
+}
+
+TEST(Systems, HerdBluefieldSlowest)
+{
+    HerdModel herd(cfg(), false);
+    HerdModel herd_bf(cfg(), true);
+    Tick cpu_total = 0, bf_total = 0;
+    for (int i = 0; i < 100; i++) {
+        cpu_total += herd.getLatency(1024);
+        bf_total += herd_bf.getLatency(1024);
+    }
+    // Fig. 10/18: HERD-BF is much slower than HERD on a CPU.
+    EXPECT_GT(bf_total, cpu_total + 100ull * 3000 * kNanosecond);
+}
+
+TEST(Energy, RankingMatchesPaper)
+{
+    // Fig. 21 shape: for the same served workload, Clio cheapest-ish,
+    // Clover close, HERD 1.6-3x Clio, HERD-BF the worst (slowest).
+    const EnergyConfig ec;
+    const std::uint64_t reqs = 100000;
+    // Runtimes proportional to the per-request latencies of each
+    // system (relative numbers in the prototype's ballpark).
+    const Tick t_clio = reqs * (8 * kMicrosecond);
+    const Tick t_clover = reqs * (10 * kMicrosecond);
+    const Tick t_herd = reqs * (9 * kMicrosecond);
+    const Tick t_herd_bf = reqs * (25 * kMicrosecond);
+
+    const double clio =
+        perRequestEnergy(ec, SystemKind::kClio, t_clio, reqs).total();
+    const double clover =
+        perRequestEnergy(ec, SystemKind::kClover, t_clover, reqs).total();
+    const double herd =
+        perRequestEnergy(ec, SystemKind::kHerd, t_herd, reqs).total();
+    const double herd_bf =
+        perRequestEnergy(ec, SystemKind::kHerdBluefield, t_herd_bf, reqs)
+            .total();
+
+    EXPECT_LT(clio, clover);
+    EXPECT_GT(herd, clio * 1.6);
+    EXPECT_LT(herd, clio * 4.0);
+    EXPECT_GT(herd_bf, herd);
+    // CN/MN split: Clover burns more at CNs than Clio does.
+    const auto clio_split =
+        perRequestEnergy(ec, SystemKind::kClio, t_clio, reqs);
+    const auto clover_split =
+        perRequestEnergy(ec, SystemKind::kClover, t_clover, reqs);
+    EXPECT_GT(clover_split.cn_mj, clio_split.cn_mj);
+}
+
+TEST(Resources, MatchesPaperTable)
+{
+    auto rows = clioUtilization(ModelConfig::prototype());
+    ASSERT_EQ(rows.size(), 4u);
+    // Clio total ~31%/31%.
+    EXPECT_NEAR(rows[0].lut_pct, 31.0, 4.0);
+    EXPECT_NEAR(rows[0].bram_pct, 31.0, 5.0);
+    // VirtMem ~5.5%/3%.
+    EXPECT_NEAR(rows[1].lut_pct, 5.5, 1.0);
+    EXPECT_NEAR(rows[1].bram_pct, 3.0, 1.0);
+    // NetStack ~2.3%/1.7%.
+    EXPECT_NEAR(rows[2].lut_pct, 2.3, 0.6);
+    EXPECT_NEAR(rows[2].bram_pct, 1.7, 0.6);
+    // Go-Back-N ~5.8%/2.6% -- more than Clio's whole NetStack.
+    EXPECT_NEAR(rows[3].lut_pct, 5.8, 1.0);
+    EXPECT_NEAR(rows[3].bram_pct, 2.6, 0.8);
+    EXPECT_GT(rows[3].lut_pct, rows[2].lut_pct);
+
+    auto cmp = comparisonUtilization();
+    ASSERT_EQ(cmp.size(), 2u);
+    // Clio total is below both published network-stack-only systems.
+    EXPECT_LT(rows[0].lut_pct, cmp[0].lut_pct);
+    EXPECT_LT(rows[0].bram_pct, cmp[0].bram_pct);
+    EXPECT_LT(rows[0].lut_pct, cmp[1].lut_pct);
+}
+
+TEST(Resources, ScalesWithTlbSize)
+{
+    auto small = ModelConfig::prototype();
+    auto big = ModelConfig::prototype();
+    big.fast_path.tlb_entries = 4096;
+    const auto small_rows = clioUtilization(small);
+    const auto big_rows = clioUtilization(big);
+    EXPECT_GT(big_rows[1].lut_pct, small_rows[1].lut_pct);
+    EXPECT_GT(big_rows[1].bram_pct, small_rows[1].bram_pct);
+}
+
+TEST(Systems, ClioBeatsLegoOsEndToEnd)
+{
+    // Cross-check the full Clio stack against the LegoOS model on the
+    // same config: hardware MN should win clearly for small reads.
+    Cluster cluster(cfg(), 1, 1);
+    ClioClient &client = cluster.createClient(0);
+    const VirtAddr addr = client.ralloc(4 * MiB);
+    std::uint64_t v = 5;
+    client.rwrite(addr, &v, sizeof(v)); // warm
+
+    LatencyHistogram clio_hist;
+    std::uint8_t buf[16];
+    for (int i = 0; i < 100; i++) {
+        const Tick t0 = cluster.eventQueue().now();
+        client.rread(addr, buf, 16);
+        clio_hist.record(cluster.eventQueue().now() - t0);
+    }
+    LegoOsModel lego(cfg());
+    LatencyHistogram lego_hist;
+    for (int i = 0; i < 100; i++)
+        lego_hist.record(lego.readLatency(16));
+    EXPECT_LT(clio_hist.median() * 3 / 2, lego_hist.median());
+}
+
+} // namespace
+} // namespace clio

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Unit tests for the network model, MTU splitting, the CN transport
+ * (CNode), and the Go-Back-N reference transport.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "clib/cnode.hh"
+#include "cluster/cluster.hh"
+#include "net/network.hh"
+#include "proto/wire.hh"
+#include "sim/rng.hh"
+#include "transport/go_back_n.hh"
+
+namespace clio {
+namespace {
+
+NetConfig
+quietNet()
+{
+    NetConfig cfg;
+    cfg.switch_jitter_mean = 0; // deterministic timing tests
+    return cfg;
+}
+
+Packet
+makePacket(NodeId src, NodeId dst, std::uint32_t wire_bytes,
+           ReqId id = 1)
+{
+    Packet pkt;
+    pkt.src = src;
+    pkt.dst = dst;
+    pkt.req_id = id;
+    pkt.wire_bytes = wire_bytes;
+    return pkt;
+}
+
+TEST(Network, DeliversWithFixedLatency)
+{
+    EventQueue eq;
+    Network net(eq, quietNet(), 1);
+    Tick delivered_at = 0;
+    NodeId a = net.addNode(nullptr);
+    NodeId b = net.addNode([&](Packet) { delivered_at = eq.now(); });
+
+    net.send(makePacket(a, b, 100));
+    eq.runAll();
+    // serialization (2 stages) + 2 props + switch.
+    const Tick ser = 100 * ticksPerByte(quietNet().link_bandwidth_bps);
+    const Tick expected = 2 * ser + 2 * quietNet().link_propagation +
+                          quietNet().switch_latency;
+    EXPECT_EQ(delivered_at, expected);
+    EXPECT_EQ(net.stats().delivered, 1u);
+}
+
+TEST(Network, EgressSerializationQueues)
+{
+    EventQueue eq;
+    Network net(eq, quietNet(), 1);
+    std::vector<Tick> arrivals;
+    NodeId a = net.addNode(nullptr);
+    NodeId b = net.addNode([&](Packet) { arrivals.push_back(eq.now()); });
+
+    // Two back-to-back packets: the second waits for the first's
+    // serialization on the source link.
+    net.send(makePacket(a, b, 1500, 1));
+    net.send(makePacket(a, b, 1500, 2));
+    eq.runAll();
+    ASSERT_EQ(arrivals.size(), 2u);
+    const Tick ser = 1500 * ticksPerByte(quietNet().link_bandwidth_bps);
+    EXPECT_EQ(arrivals[1] - arrivals[0], ser);
+}
+
+TEST(Network, LossAndCorruptionStatistics)
+{
+    EventQueue eq;
+    auto cfg = quietNet();
+    cfg.loss_rate = 0.3;
+    cfg.corrupt_rate = 0.2;
+    Network net(eq, cfg, 7);
+    int received = 0, corrupted = 0;
+    NodeId a = net.addNode(nullptr);
+    NodeId b = net.addNode([&](Packet pkt) {
+        received++;
+        corrupted += pkt.corrupted ? 1 : 0;
+    });
+    for (int i = 0; i < 2000; i++)
+        net.send(makePacket(a, b, 100, static_cast<ReqId>(i)));
+    eq.runAll();
+    EXPECT_NEAR(net.stats().dropped_random, 600, 80);
+    EXPECT_EQ(received, 2000 - static_cast<int>(
+                                   net.stats().dropped_random));
+    EXPECT_NEAR(corrupted, 0.2 * received, 80);
+}
+
+TEST(Network, IngressBacklogVisible)
+{
+    EventQueue eq;
+    Network net(eq, quietNet(), 1);
+    NodeId a = net.addNode(nullptr);
+    NodeId b = net.addNode([](Packet) {});
+    for (int i = 0; i < 10; i++)
+        net.send(makePacket(a, b, 1500, static_cast<ReqId>(i)));
+    EXPECT_GT(net.ingressBacklog(b), 0u);
+    eq.runAll();
+    EXPECT_EQ(net.ingressBacklog(b), 0u);
+}
+
+TEST(Wire, PacketCountMatchesMtu)
+{
+    const std::uint32_t mtu = 1500;
+    const std::uint32_t payload_per = mtu - kPacketHeaderBytes;
+    EXPECT_EQ(packetCount(0, mtu), 1u);
+    EXPECT_EQ(packetCount(1, mtu), 1u);
+    EXPECT_EQ(packetCount(payload_per, mtu), 1u);
+    EXPECT_EQ(packetCount(payload_per + 1, mtu), 2u);
+    EXPECT_EQ(packetCount(10 * payload_per, mtu), 10u);
+}
+
+TEST(Wire, SplitCoversPayloadExactly)
+{
+    EventQueue eq;
+    Network net(eq, quietNet(), 1);
+    std::vector<Packet> got;
+    NodeId a = net.addNode(nullptr);
+    NodeId b = net.addNode([&](Packet pkt) { got.push_back(pkt); });
+
+    auto msg = std::make_shared<RequestMsg>();
+    const std::uint64_t payload = 5000;
+    sendSplit(eq, net, 0, a, b, 42, MsgType::kWrite, payload, msg);
+    eq.runAll();
+    ASSERT_EQ(got.size(), packetCount(payload, quietNet().mtu));
+    std::uint64_t covered = 0;
+    for (const auto &pkt : got) {
+        EXPECT_EQ(pkt.req_id, 42u);
+        EXPECT_EQ(pkt.total_parts, got.size());
+        EXPECT_EQ(pkt.payload_offset, covered);
+        covered += pkt.payload_len;
+    }
+    EXPECT_EQ(covered, payload);
+}
+
+TEST(CNode, RetryGetsFreshIdKeepsOriginal)
+{
+    // Total loss for the first attempt; capture ids at the MN.
+    auto cfg = ModelConfig::prototype();
+    cfg.net.loss_rate = 1.0;
+    Cluster cluster(cfg, 1, 1);
+    ClioClient &client = cluster.createClient(0);
+    auto handle = client.rreadAsync(4 * MiB, nullptr, 8);
+    // Drain: every attempt is lost; request eventually fails.
+    cluster.run();
+    EXPECT_TRUE(handle->done);
+    EXPECT_EQ(handle->status, Status::kRetryExceeded);
+    EXPECT_EQ(cluster.cn(0).stats().retries, cfg.clib.max_retries);
+    EXPECT_EQ(cluster.cn(0).stats().timeouts, cfg.clib.max_retries + 1);
+}
+
+TEST(CNode, CwndGrowsOnGoodRtt)
+{
+    Cluster cluster(ModelConfig::prototype(), 1, 1);
+    ClioClient &client = cluster.createClient(0);
+    const NodeId mn = cluster.mn(0).nodeId();
+    const double before = cluster.cn(0).cwnd(mn);
+    const VirtAddr addr = client.ralloc(4 * MiB);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 50; i++)
+        client.rread(addr, &v, 8);
+    EXPECT_GT(cluster.cn(0).cwnd(mn), before);
+}
+
+TEST(CNode, RttHistogramPopulated)
+{
+    Cluster cluster(ModelConfig::prototype(), 1, 1);
+    ClioClient &client = cluster.createClient(0);
+    const VirtAddr addr = client.ralloc(4 * MiB);
+    std::uint64_t v = 1;
+    for (int i = 0; i < 20; i++)
+        client.rwrite(addr, &v, 8);
+    EXPECT_GE(cluster.cn(0).rttHistogram().count(), 20u);
+    EXPECT_GT(cluster.cn(0).rttHistogram().median(), kMicrosecond);
+}
+
+// ----------------------------------------------------------------
+// Go-Back-N reference transport
+// ----------------------------------------------------------------
+
+struct GbnPair
+{
+    EventQueue eq;
+    Network net;
+    std::vector<std::vector<std::uint8_t>> a_got, b_got;
+    std::unique_ptr<GbnEndpoint> a, b;
+
+    explicit GbnPair(NetConfig cfg, std::uint64_t seed = 1)
+        : net(eq, cfg, seed)
+    {
+        a = std::make_unique<GbnEndpoint>(
+            eq, net,
+            [this](NodeId, std::vector<std::uint8_t> m) {
+                a_got.push_back(std::move(m));
+            });
+        b = std::make_unique<GbnEndpoint>(
+            eq, net,
+            [this](NodeId, std::vector<std::uint8_t> m) {
+                b_got.push_back(std::move(m));
+            });
+    }
+};
+
+std::vector<std::uint8_t>
+blob(std::size_t n, std::uint8_t tag)
+{
+    std::vector<std::uint8_t> out(n);
+    for (std::size_t i = 0; i < n; i++)
+        out[i] = static_cast<std::uint8_t>(tag + i * 7);
+    return out;
+}
+
+TEST(GoBackN, DeliversInOrderLossless)
+{
+    GbnPair pair(quietNet());
+    for (int i = 0; i < 10; i++)
+        pair.a->send(pair.b->nodeId(), blob(3000, static_cast<std::uint8_t>(i)));
+    pair.eq.runAll();
+    ASSERT_EQ(pair.b_got.size(), 10u);
+    for (int i = 0; i < 10; i++)
+        EXPECT_EQ(pair.b_got[static_cast<std::size_t>(i)],
+                  blob(3000, static_cast<std::uint8_t>(i)));
+    EXPECT_EQ(pair.a->stats().data_retransmitted, 0u);
+}
+
+TEST(GoBackN, RecoversFromLoss)
+{
+    auto cfg = quietNet();
+    cfg.loss_rate = 0.15;
+    GbnPair pair(cfg, 23);
+    for (int i = 0; i < 20; i++)
+        pair.a->send(pair.b->nodeId(), blob(5000, static_cast<std::uint8_t>(i)));
+    pair.eq.runAll();
+    ASSERT_EQ(pair.b_got.size(), 20u);
+    for (int i = 0; i < 20; i++)
+        EXPECT_EQ(pair.b_got[static_cast<std::size_t>(i)],
+                  blob(5000, static_cast<std::uint8_t>(i)));
+    // Loss forces go-back-N retransmissions.
+    EXPECT_GT(pair.a->stats().data_retransmitted, 0u);
+}
+
+TEST(GoBackN, BidirectionalFlows)
+{
+    GbnPair pair(quietNet());
+    pair.a->send(pair.b->nodeId(), blob(100, 1));
+    pair.b->send(pair.a->nodeId(), blob(200, 2));
+    pair.eq.runAll();
+    ASSERT_EQ(pair.b_got.size(), 1u);
+    ASSERT_EQ(pair.a_got.size(), 1u);
+    EXPECT_EQ(pair.a_got[0], blob(200, 2));
+}
+
+TEST(GoBackN, StateGrowsWithFlowsUnlikeClio)
+{
+    // The Fig. 22 argument: GBN state scales with flows and inflight
+    // data; Clio's MN transport state does not exist at all.
+    auto cfg = quietNet();
+    EventQueue eq;
+    Network net(eq, cfg, 5);
+    GbnEndpoint hub(eq, net, nullptr, 16, 100 * kMicrosecond);
+    std::vector<std::unique_ptr<GbnEndpoint>> peers;
+    for (int i = 0; i < 8; i++) {
+        peers.push_back(
+            std::make_unique<GbnEndpoint>(eq, net, nullptr));
+    }
+    const std::uint64_t before = hub.stateBytes();
+    for (auto &peer : peers)
+        hub.send(peer->nodeId(), blob(8000, 9));
+    // Before any delivery, per-flow retransmission buffers are held.
+    EXPECT_GT(hub.stateBytes(), before + 8 * 8000);
+    EXPECT_EQ(hub.flowCount(), 8u);
+    eq.runAll();
+}
+
+} // namespace
+} // namespace clio

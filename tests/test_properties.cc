@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Parameterized property sweeps (TEST_P): system invariants must hold
+ * across page-table geometries, page sizes, MTUs, and fault-injection
+ * intensities — not just at the paper's defaults.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "pagetable/hash_page_table.hh"
+#include "sim/rng.hh"
+#include "valloc/va_allocator.hh"
+
+namespace clio {
+namespace {
+
+// ----------------------------------------------------------------
+// Page table geometry sweep: overflow-freedom is invariant.
+// ----------------------------------------------------------------
+
+using Geometry = std::tuple<std::uint32_t /*bucket_slots*/,
+                            double /*overprovision*/>;
+
+class PageTableGeometry : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(PageTableGeometry, GuardedInsertsNeverOverflow)
+{
+    const auto [slots, factor] = GetParam();
+    HashPageTable pt(512 * MiB, 4 * MiB, slots, factor);
+    VaAllocator va(4 * MiB, 1ull << 40);
+    Rng rng(slots * 1000 + static_cast<std::uint64_t>(factor * 10));
+
+    std::uint64_t allocated_pages = 0;
+    for (int i = 0; i < 400; i++) {
+        const ProcId pid = 1 + static_cast<ProcId>(rng.uniformInt(4));
+        const std::uint64_t pages = rng.uniformRange(1, 6);
+        auto res = va.allocate(pid, pages * 4 * MiB, kPermReadWrite, pt,
+                               50000);
+        if (!res)
+            break; // table genuinely full: acceptable for tight factors
+        for (auto vpn : res->vpns)
+            pt.insert(pid, vpn, kPermReadWrite); // must never panic
+        allocated_pages += pages;
+        ASSERT_LE(pt.maxBucketFill(), slots);
+    }
+    EXPECT_GT(allocated_pages, 0u);
+    EXPECT_LE(pt.liveEntries(), pt.totalSlots());
+}
+
+TEST_P(PageTableGeometry, EveryInsertedEntryIsFindable)
+{
+    const auto [slots, factor] = GetParam();
+    HashPageTable pt(256 * MiB, 4 * MiB, slots, factor);
+    Rng rng(7);
+    std::vector<std::pair<ProcId, std::uint64_t>> inserted;
+    for (int i = 0; i < 200; i++) {
+        const ProcId pid = 1 + static_cast<ProcId>(rng.uniformInt(3));
+        const std::uint64_t vpn = rng.uniformInt(1 << 20);
+        std::vector<std::uint64_t> one{vpn};
+        if (pt.lookup(pid, vpn) || !pt.canInsert(pid, one))
+            continue;
+        pt.insert(pid, vpn, kPermRead);
+        inserted.emplace_back(pid, vpn);
+    }
+    for (const auto &[pid, vpn] : inserted) {
+        const Pte *pte = pt.lookup(pid, vpn);
+        ASSERT_NE(pte, nullptr);
+        EXPECT_EQ(pte->pid, pid);
+        EXPECT_EQ(pte->vpn, vpn);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PageTableGeometry,
+    ::testing::Values(Geometry{4, 1.5}, Geometry{8, 1.25},
+                      Geometry{8, 2.0}, Geometry{8, 3.0},
+                      Geometry{16, 2.0}, Geometry{2, 4.0}));
+
+// ----------------------------------------------------------------
+// Page size sweep: end-to-end correctness at any translation unit.
+// ----------------------------------------------------------------
+
+class PageSizeSweep
+    : public ::testing::TestWithParam<std::uint64_t /*page size*/>
+{
+};
+
+TEST_P(PageSizeSweep, EndToEndRoundTripAndFaultCount)
+{
+    auto cfg = ModelConfig::prototype();
+    cfg.page_table.page_size = GetParam();
+    cfg.mn_phys_bytes = 256 * MiB;
+    Cluster cluster(cfg, 1, 1);
+    ClioClient &client = cluster.createClient(0);
+
+    const std::uint64_t span = 4 * GetParam();
+    const VirtAddr addr = client.ralloc(span);
+    ASSERT_NE(addr, 0u);
+
+    // Write a pattern straddling the first page boundary.
+    std::vector<std::uint8_t> data(
+        std::min<std::uint64_t>(GetParam() / 2, 1 * MiB));
+    Rng rng(GetParam());
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    const VirtAddr at = addr + GetParam() - data.size() / 2;
+    ASSERT_EQ(client.rwrite(at, data.data(), data.size()), Status::kOk);
+    std::vector<std::uint8_t> out(data.size());
+    ASSERT_EQ(client.rread(at, out.data(), out.size()), Status::kOk);
+    EXPECT_EQ(out, data);
+    // Exactly the touched pages faulted.
+    EXPECT_EQ(cluster.mn(0).stats().page_faults, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, PageSizeSweep,
+                         ::testing::Values(64 * KiB, 256 * KiB, 1 * MiB,
+                                           4 * MiB, 16 * MiB));
+
+// ----------------------------------------------------------------
+// MTU sweep: split/reassembly integrity at any frame size.
+// ----------------------------------------------------------------
+
+class MtuSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(MtuSweep, MultiPacketIntegrity)
+{
+    auto cfg = ModelConfig::prototype();
+    cfg.net.mtu = GetParam();
+    Cluster cluster(cfg, 1, 1);
+    ClioClient &client = cluster.createClient(0);
+    const VirtAddr addr = client.ralloc(8 * MiB);
+
+    std::vector<std::uint8_t> data(20 * KiB);
+    Rng rng(GetParam());
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    ASSERT_EQ(client.rwrite(addr, data.data(), data.size()), Status::kOk);
+    std::vector<std::uint8_t> out(data.size());
+    ASSERT_EQ(client.rread(addr, out.data(), out.size()), Status::kOk);
+    EXPECT_EQ(out, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mtus, MtuSweep,
+                         ::testing::Values(256u, 576u, 1500u, 4096u,
+                                           9000u));
+
+// ----------------------------------------------------------------
+// Fault-injection sweep: correctness under any loss/corruption mix.
+// ----------------------------------------------------------------
+
+using Faults = std::tuple<double /*loss*/, double /*corrupt*/,
+                          double /*reorder*/>;
+
+class FaultSweep : public ::testing::TestWithParam<Faults>
+{
+};
+
+TEST_P(FaultSweep, DataIntegrityAndProgress)
+{
+    const auto [loss, corrupt, reorder] = GetParam();
+    auto cfg = ModelConfig::prototype();
+    cfg.net.loss_rate = loss;
+    cfg.net.corrupt_rate = corrupt;
+    cfg.net.reorder_rate = reorder;
+    cfg.clib.max_retries = 12;
+    Cluster cluster(cfg, 1, 1);
+    ClioClient &client = cluster.createClient(0);
+    const VirtAddr addr = client.ralloc(16 * MiB);
+    ASSERT_NE(addr, 0u);
+
+    Rng rng(99);
+    std::vector<std::uint64_t> mirror(64);
+    for (int i = 0; i < 64; i++) {
+        mirror[static_cast<std::size_t>(i)] = rng.next();
+        ASSERT_EQ(client.rwrite(addr + i * 128,
+                                &mirror[static_cast<std::size_t>(i)], 8),
+                  Status::kOk);
+    }
+    // One larger multi-packet write under the same faults. Whole-
+    // request retries make big transfers exponentially unlikely to
+    // land under heavy per-packet loss (the paper deploys PFC to keep
+    // loss rare), so scale the transfer with the injected rate.
+    std::vector<std::uint8_t> big(loss + corrupt > 0.1 ? 4 * KiB
+                                                       : 24 * KiB);
+    for (auto &b : big)
+        b = static_cast<std::uint8_t>(rng.next());
+    ASSERT_EQ(client.rwrite(addr + 8 * MiB, big.data(), big.size()),
+              Status::kOk);
+
+    for (int i = 0; i < 64; i++) {
+        std::uint64_t v = 0;
+        ASSERT_EQ(client.rread(addr + i * 128, &v, 8), Status::kOk);
+        EXPECT_EQ(v, mirror[static_cast<std::size_t>(i)]);
+    }
+    std::vector<std::uint8_t> out(big.size());
+    ASSERT_EQ(client.rread(addr + 8 * MiB, out.data(), out.size()),
+              Status::kOk);
+    EXPECT_EQ(out, big);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultMixes, FaultSweep,
+    ::testing::Values(Faults{0, 0, 0}, Faults{0.05, 0, 0},
+                      Faults{0, 0.05, 0}, Faults{0, 0, 0.3},
+                      Faults{0.05, 0.05, 0.1},
+                      Faults{0.15, 0.05, 0.2}));
+
+// ----------------------------------------------------------------
+// Dedup-correctness sweep: the T4 guarantee under forced retries.
+// ----------------------------------------------------------------
+
+class RetrySweep : public ::testing::TestWithParam<double /*loss*/>
+{
+};
+
+TEST_P(RetrySweep, CountersNeverDoubleApply)
+{
+    // Fetch-add increments through a lossy network: every op is
+    // retried until acked, and the dedup buffer must ensure each
+    // logical increment applies exactly once (T4).
+    auto cfg = ModelConfig::prototype();
+    cfg.net.loss_rate = GetParam();
+    cfg.clib.max_retries = 20;
+    Cluster cluster(cfg, 1, 1);
+    ClioClient &client = cluster.createClient(0);
+    const VirtAddr counter = client.ralloc(4 * MiB);
+    ASSERT_NE(counter, 0u);
+
+    const int increments = 120;
+    for (int i = 0; i < increments; i++)
+        ASSERT_TRUE(client.rfaa(counter, 1).has_value());
+
+    std::uint64_t final_value = 0;
+    ASSERT_EQ(client.rread(counter, &final_value, 8), Status::kOk);
+    EXPECT_EQ(final_value, static_cast<std::uint64_t>(increments));
+    if (GetParam() > 0)
+        EXPECT_GT(cluster.cn(0).stats().retries, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, RetrySweep,
+                         ::testing::Values(0.0, 0.02, 0.08, 0.15));
+
+} // namespace
+} // namespace clio

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the §8 replicated-write primitive: write-all/read-one
+ * semantics, replica placement, failover, and degraded operation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "clib/replication.hh"
+#include "cluster/cluster.hh"
+
+namespace clio {
+namespace {
+
+TEST(Replication, WriteAllReadOne)
+{
+    Cluster cluster(ModelConfig::prototype(), 1, 2);
+    ClioClient &client = cluster.createClient(0);
+    ReplicatedRegion region(client, 8 * MiB, cluster.mn(0).nodeId(),
+                            cluster.mn(1).nodeId());
+    ASSERT_TRUE(region.ok());
+
+    const char msg[] = "durable-ish";
+    ASSERT_EQ(region.write(100, msg, sizeof(msg)), Status::kOk);
+    char out[sizeof(msg)] = {};
+    ASSERT_EQ(region.read(100, out, sizeof(out)), Status::kOk);
+    EXPECT_STREQ(out, msg);
+    // Both MNs hold the bytes (one write each + faults).
+    EXPECT_GE(cluster.mn(0).stats().writes, 1u);
+    EXPECT_GE(cluster.mn(1).stats().writes, 1u);
+    EXPECT_EQ(region.failovers(), 0u);
+}
+
+TEST(Replication, FailoverServesFromBackup)
+{
+    Cluster cluster(ModelConfig::prototype(), 1, 2);
+    ClioClient &client = cluster.createClient(0);
+    ReplicatedRegion region(client, 4 * MiB, cluster.mn(0).nodeId(),
+                            cluster.mn(1).nodeId());
+    ASSERT_TRUE(region.ok());
+    std::uint64_t v = 0xD00D;
+    ASSERT_EQ(region.write(0, &v, 8), Status::kOk);
+
+    // "Crash" the primary: wipe this process' state there, so reads
+    // against it fail (the failure mode a real MN crash+restart has).
+    cluster.mn(0).destroyProcess(client.pid());
+    std::uint64_t out = 0;
+    ASSERT_EQ(region.read(0, &out, 8), Status::kOk);
+    EXPECT_EQ(out, 0xD00Du);
+    EXPECT_EQ(region.failovers(), 1u);
+    EXPECT_FALSE(region.primaryAlive());
+
+    // Writes continue in degraded mode against the backup.
+    std::uint64_t v2 = 0xD11D;
+    ASSERT_EQ(region.write(8, &v2, 8), Status::kOk);
+    ASSERT_EQ(region.read(8, &out, 8), Status::kOk);
+    EXPECT_EQ(out, 0xD11Du);
+}
+
+TEST(Replication, ReplicasOnDistinctMnsByConstruction)
+{
+    Cluster cluster(ModelConfig::prototype(), 1, 3);
+    ClioClient &client = cluster.createClient(0);
+    ReplicatedRegion region(client, 4 * MiB, cluster.mn(1).nodeId(),
+                            cluster.mn(2).nodeId());
+    ASSERT_TRUE(region.ok());
+    std::uint64_t v = 5;
+    region.write(0, &v, 8);
+    EXPECT_EQ(cluster.mn(0).stats().writes, 0u); // untouched MN
+    region.destroy();
+    // After destroy, reads fail.
+    std::uint64_t out = 0;
+    EXPECT_NE(region.read(0, &out, 8), Status::kOk);
+}
+
+TEST(Replication, SurvivesLossyNetwork)
+{
+    auto cfg = ModelConfig::prototype();
+    cfg.net.loss_rate = 0.08;
+    cfg.clib.max_retries = 10;
+    Cluster cluster(cfg, 1, 2);
+    ClioClient &client = cluster.createClient(0);
+    ReplicatedRegion region(client, 4 * MiB, cluster.mn(0).nodeId(),
+                            cluster.mn(1).nodeId());
+    ASSERT_TRUE(region.ok());
+    for (int i = 0; i < 50; i++) {
+        std::uint64_t v = 1000 + i;
+        ASSERT_EQ(region.write(static_cast<std::uint64_t>(i) * 8, &v, 8),
+                  Status::kOk);
+    }
+    for (int i = 0; i < 50; i++) {
+        std::uint64_t out = 0;
+        ASSERT_EQ(region.read(static_cast<std::uint64_t>(i) * 8, &out, 8),
+                  Status::kOk);
+        EXPECT_EQ(out, 1000u + static_cast<unsigned>(i));
+    }
+}
+
+} // namespace
+} // namespace clio

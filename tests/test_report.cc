@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Smoke tests for the cluster report renderer (it must reflect real
+ * counters and never crash on fresh or busy clusters).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cluster/cluster.hh"
+#include "sim/report.hh"
+
+namespace clio {
+namespace {
+
+std::string
+render(Cluster &cluster)
+{
+    char *data = nullptr;
+    std::size_t len = 0;
+    std::FILE *mem = open_memstream(&data, &len);
+    printClusterReport(cluster, mem);
+    std::fclose(mem);
+    std::string out(data, len);
+    free(data);
+    return out;
+}
+
+TEST(Report, FreshClusterRenders)
+{
+    Cluster cluster(ModelConfig::prototype(), 2, 2);
+    const std::string out = render(cluster);
+    EXPECT_NE(out.find("CN0"), std::string::npos);
+    EXPECT_NE(out.find("MN1"), std::string::npos);
+    EXPECT_NE(out.find("network:"), std::string::npos);
+}
+
+TEST(Report, CountersShowUp)
+{
+    Cluster cluster(ModelConfig::prototype(), 1, 1);
+    ClioClient &client = cluster.createClient(0);
+    const VirtAddr addr = client.ralloc(4 * MiB);
+    std::uint64_t v = 1;
+    client.rwrite(addr, &v, 8);
+    client.rread(addr, &v, 8);
+    const std::string out = render(cluster);
+    EXPECT_NE(out.find("reads=1"), std::string::npos);
+    EXPECT_NE(out.find("writes=1"), std::string::npos);
+    EXPECT_NE(out.find("allocs=1"), std::string::npos);
+    EXPECT_NE(out.find("faults=1"), std::string::npos);
+
+    const std::string summary = clusterSummaryLine(cluster);
+    EXPECT_NE(summary.find("1 reads"), std::string::npos);
+    EXPECT_NE(summary.find("1 writes"), std::string::npos);
+}
+
+} // namespace
+} // namespace clio

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Unit tests for the simulation core: event queue ordering, RNG
+ * determinism and distributions, histogram percentiles, types helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace clio {
+namespace {
+
+TEST(Types, UnitConstants)
+{
+    EXPECT_EQ(kNanosecond, 1000u);
+    EXPECT_EQ(kMicrosecond, 1000u * 1000);
+    EXPECT_EQ(kSecond, 1000ull * 1000 * 1000 * 1000);
+    EXPECT_DOUBLE_EQ(ticksToUs(2500 * kNanosecond), 2.5);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(kSecond), 1.0);
+}
+
+TEST(Types, TicksPerByteRoundsUp)
+{
+    // 10 Gbps: 8e12/1e10 = 800 ticks per byte exactly.
+    EXPECT_EQ(ticksPerByte(10ull * 1000 * 1000 * 1000), 800u);
+    // 3 bps: must round up, never undershoot the serialization time.
+    EXPECT_GE(ticksPerByte(3) * 3, 8 * kSecond);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; i++)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.runAll();
+    for (int i = 0; i < 10; i++)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NestedScheduling)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] {
+        fired++;
+        eq.scheduleAfter(5, [&] { fired++; });
+    });
+    eq.runAll();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 15u);
+}
+
+TEST(EventQueue, RunUntilPredicate)
+{
+    EventQueue eq;
+    int count = 0;
+    for (int i = 1; i <= 100; i++)
+        eq.schedule(static_cast<Tick>(i), [&] { count++; });
+    bool ok = eq.runUntil([&] { return count == 7; });
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(count, 7);
+    EXPECT_EQ(eq.pending(), 93u);
+}
+
+TEST(EventQueue, RunUntilTimeAdvancesClock)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(100, [&] { count++; });
+    eq.schedule(200, [&] { count++; });
+    eq.runUntilTime(150);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(eq.now(), 150u);
+    eq.runUntilTime(250);
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, RunOneOnEmptyReturnsFalse)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.runOne());
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123), c(124);
+    bool diverged = false;
+    for (int i = 0; i < 100; i++) {
+        auto va = a.next();
+        EXPECT_EQ(va, b.next());
+        if (va != c.next())
+            diverged = true;
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, UniformIntInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(7);
+    std::vector<int> counts(8, 0);
+    for (int i = 0; i < 80000; i++)
+        counts[rng.uniformInt(8)]++;
+    for (int c : counts) {
+        EXPECT_GT(c, 9000);
+        EXPECT_LT(c, 11000);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; i++) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 100000; i++)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(13);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; i++)
+        sum += rng.exponential(100.0);
+    EXPECT_NEAR(sum / n, 100.0, 3.0);
+}
+
+TEST(Zipf, SkewsTowardHead)
+{
+    ZipfianGenerator zipf(1000, 0.99, 5);
+    std::vector<int> counts(1000, 0);
+    for (int i = 0; i < 100000; i++)
+        counts[zipf.next()]++;
+    // Head item should dominate any mid-range item heavily.
+    EXPECT_GT(counts[0], counts[500] * 20);
+    // All samples in range (indexing above would have thrown).
+    int total = 0;
+    for (int c : counts)
+        total += c;
+    EXPECT_EQ(total, 100000);
+}
+
+TEST(Zipf, SingleItemDomain)
+{
+    ZipfianGenerator zipf(1, 0.99, 5);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(zipf.next(), 0u);
+}
+
+TEST(Histogram, BasicStats)
+{
+    LatencyHistogram h;
+    for (Tick v = 1; v <= 100; v++)
+        h.record(v * kNanosecond);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.min(), kNanosecond);
+    EXPECT_EQ(h.max(), 100 * kNanosecond);
+    EXPECT_NEAR(h.mean(), 50.5 * kNanosecond, kNanosecond);
+}
+
+TEST(Histogram, PercentileAccuracy)
+{
+    LatencyHistogram h;
+    for (Tick v = 1; v <= 1000; v++)
+        h.record(v * kMicrosecond);
+    // Log-linear buckets give ~1.6% resolution; allow 3%.
+    EXPECT_NEAR(static_cast<double>(h.median()),
+                500.0 * kMicrosecond, 0.03 * 500 * kMicrosecond);
+    EXPECT_NEAR(static_cast<double>(h.p99()),
+                990.0 * kMicrosecond, 0.03 * 990 * kMicrosecond);
+    EXPECT_EQ(h.percentile(100.0), 1000 * kMicrosecond);
+}
+
+TEST(Histogram, PercentileNeverUnderstates)
+{
+    LatencyHistogram h;
+    Rng rng(3);
+    std::vector<Tick> samples;
+    for (int i = 0; i < 5000; i++) {
+        Tick v = rng.uniformRange(1, 10 * kMicrosecond);
+        samples.push_back(v);
+        h.record(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    // p90 from histogram >= exact p90 (upper-edge reporting).
+    const Tick exact_p90 = samples[static_cast<std::size_t>(
+        0.9 * static_cast<double>(samples.size())) - 1];
+    EXPECT_GE(h.percentile(90.0), exact_p90);
+}
+
+TEST(Histogram, MergeAndReset)
+{
+    LatencyHistogram a, b;
+    a.record(10);
+    b.record(20);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.max(), 20u);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.percentile(50), 0u);
+}
+
+TEST(Histogram, CdfMonotone)
+{
+    LatencyHistogram h;
+    Rng rng(17);
+    for (int i = 0; i < 10000; i++)
+        h.record(rng.uniformRange(kNanosecond, kMillisecond));
+    auto cdf = h.cdf(50);
+    ASSERT_EQ(cdf.size(), 50u);
+    for (std::size_t i = 1; i < cdf.size(); i++) {
+        EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+        EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+    }
+    EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Throughput, GbpsComputation)
+{
+    ThroughputMeter m;
+    m.record(1250); // 1250 B = 10^4 bits
+    EXPECT_DOUBLE_EQ(m.gbps(kMicrosecond), 10.0);
+    EXPECT_DOUBLE_EQ(m.mops(kSecond), 1e-6);
+    m.reset();
+    EXPECT_EQ(m.bytes(), 0u);
+}
+
+} // namespace
+} // namespace clio
