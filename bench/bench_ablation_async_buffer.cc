@@ -39,7 +39,8 @@ faultStorm(std::uint32_t buffer_pages)
     const VirtAddr addr = client.ralloc(300 * page);
     LatencyHistogram hist;
     std::uint64_t v = 7;
-    for (int i = 0; i < 256; i++) {
+    const std::uint64_t faults = bench::iters(256);
+    for (std::uint64_t i = 0; i < faults; i++) {
         const Tick t0 = cluster.eventQueue().now();
         client.rwrite(addr + static_cast<std::uint64_t>(i) * page, &v,
                       sizeof(v));

@@ -55,7 +55,7 @@ incast(bool control_enabled)
         ClioClient *client;
         VirtAddr addr;
         std::vector<std::uint8_t> buf;
-        int remaining = 200;
+        int remaining = static_cast<int>(bench::iters(200));
         Tick issued_at = 0;
     };
     auto hist = std::make_shared<LatencyHistogram>();

@@ -39,7 +39,7 @@ retriesAt90(double factor, std::uint64_t alloc_pages)
                       kPermReadWrite);
     }
     double total = 0;
-    const int probes = 25;
+    const int probes = static_cast<int>(bench::iters(25));
     for (int i = 0; i < probes; i++) {
         auto res = va.allocate(9, alloc_pages * kPage, kPermReadWrite,
                                pt, 200000);

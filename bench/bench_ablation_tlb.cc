@@ -52,12 +52,13 @@ sweep(std::uint32_t tlb_entries)
 
     ZipfianGenerator zipf(pages, 0.9, tlb_entries);
     std::uint8_t buf[16];
+    const std::uint64_t reads = bench::iters(2000);
     // Warm.
-    for (int i = 0; i < 2000; i++)
+    for (std::uint64_t i = 0; i < reads; i++)
         client.rread(vpns[zipf.next()] * page, buf, 16);
     mn.tlb().resetStats();
     LatencyHistogram hist;
-    for (int i = 0; i < 2000; i++) {
+    for (std::uint64_t i = 0; i < reads; i++) {
         const Tick t0 = cluster.eventQueue().now();
         client.rread(vpns[zipf.next()] * page, buf, 16);
         hist.record(cluster.eventQueue().now() - t0);

@@ -44,7 +44,8 @@ clioLatencyUs(std::uint32_t procs, bool is_write)
     }
     LatencyHistogram hist;
     std::uint8_t buf[16] = {};
-    for (int i = 0; i < 600; i++) {
+    const std::uint64_t ops = bench::iters(600);
+    for (std::uint64_t i = 0; i < ops; i++) {
         const std::size_t p = static_cast<std::size_t>(i) % live;
         const Tick t0 = cluster.eventQueue().now();
         if (is_write)
@@ -72,7 +73,8 @@ rdmaLatencyUs(std::uint32_t procs, bool is_write,
     LatencyHistogram hist;
     std::uint8_t buf[16] = {};
     Rng rng(5);
-    for (int i = 0; i < 600; i++) {
+    const std::uint64_t ops = bench::iters(600);
+    for (std::uint64_t i = 0; i < ops; i++) {
         const QpId qp = qps[rng.uniformInt(qps.size())];
         const std::uint64_t off = rng.uniformInt(1024) * 64;
         auto res = is_write ? node.write(qp, *mr, off, buf, 16)

@@ -58,7 +58,8 @@ clioLatencyUs(std::uint64_t n_pages)
     LatencyHistogram hist;
     std::uint8_t buf[16];
     Rng rng(7);
-    for (int i = 0; i < 400; i++) {
+    const std::uint64_t reads = bench::iters(400);
+    for (std::uint64_t i = 0; i < reads; i++) {
         const std::uint64_t vpn = vpns[rng.uniformInt(vpns.size())];
         const Tick t0 = cluster.eventQueue().now();
         client.rread(vpn * page, buf, 16);
@@ -89,7 +90,8 @@ rdmaPteLatencyUs(std::uint64_t n_pages, std::uint32_t pte_cache)
         std::min<std::uint64_t>(n_pages, 2ull * pte_cache);
     for (std::uint64_t p = 0; p < warm; p++)
         node.read(qp, *mr, p * RdmaMemoryNode::kHostPage, buf, 16);
-    for (int i = 0; i < 400; i++) {
+    const std::uint64_t reads = bench::iters(400);
+    for (std::uint64_t i = 0; i < reads; i++) {
         const std::uint64_t off =
             rng.uniformInt(n_pages) * RdmaMemoryNode::kHostPage;
         hist.record(node.read(qp, *mr, off, buf, 16).latency);
@@ -120,7 +122,8 @@ rdmaMrLatencyUs(std::uint64_t n_mrs, std::uint32_t mr_cache)
         std::min<std::uint64_t>(mrs.size(), 2ull * mr_cache);
     for (std::uint64_t i = 0; i < warm; i++)
         node.read(qp, mrs[i], 0, buf, 16);
-    for (int i = 0; i < 400; i++) {
+    const std::uint64_t reads = bench::iters(400);
+    for (std::uint64_t i = 0; i < reads; i++) {
         const MrId mr = mrs[rng.uniformInt(mrs.size())];
         hist.record(node.read(qp, mr, 0, buf, 16).latency);
     }
@@ -137,7 +140,12 @@ main()
                             "(-1 = system fails)");
     bench::header({"log2(entries)", "Clio", "RDMA-PTE", "RDMA-PTE-CX5",
                    "RDMA-MR", "RDMA-MR-CX5"});
+    // Smoke mode stops at 2^14 entries; the >=2^16 points dominate
+    // runtime (mapping 2^20 pages, registering 2^19 MRs).
+    const int max_order = bench::smokeMode() ? 14 : 20;
     for (int order : {0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20}) {
+        if (order > max_order)
+            continue;
         const std::uint64_t n = 1ull << order;
         // Clio pages are 4 MB: cap the sweep at 2^20 pages (4 TB).
         const double clio = clioLatencyUs(n);

@@ -37,7 +37,8 @@ clioLatencyUs(const ModelConfig &cfg, bool is_write, ClioState state)
     }
 
     LatencyHistogram hist;
-    for (int i = 0; i < 200; i++) {
+    const std::uint64_t samples = bench::iters(200);
+    for (std::uint64_t i = 0; i < samples; i++) {
         VirtAddr target = base;
         if (state == ClioState::kTlbMiss) {
             mn.tlb().invalidate(client.pid(), base / page);
@@ -85,7 +86,8 @@ rdmaLatencyUs(bool is_write, RdmaState state)
             mrs.push_back(
                 *node.registerMr(RdmaMemoryNode::kHostPage, false, lat));
         }
-        for (int i = 0; i < 400; i++) {
+        const std::uint64_t samples = bench::iters(400);
+        for (std::uint64_t i = 0; i < samples; i++) {
             const MrId mr = mrs[static_cast<std::size_t>(i * 37) %
                                 mrs.size()];
             auto res = is_write ? node.write(qp, mr, 0, buf, 16)
@@ -97,7 +99,8 @@ rdmaLatencyUs(bool is_write, RdmaState state)
     // TLB (MTT) hit or miss within one big pinned MR.
     auto mr = node.registerMr(4 * GiB, false, lat);
     Rng rng(9);
-    for (int i = 0; i < 400; i++) {
+    const std::uint64_t samples = bench::iters(400);
+    for (std::uint64_t i = 0; i < samples; i++) {
         std::uint64_t off = 0;
         if (state == RdmaState::kTlbMiss) {
             off = rng.uniformInt(1024 * 1024) *

@@ -25,7 +25,8 @@ clioHistogram(bool is_write)
     client.rwrite(addr, buf, 16); // warm
 
     LatencyHistogram hist;
-    for (int i = 0; i < 3000; i++) {
+    const std::uint64_t samples = bench::iters(3000);
+    for (std::uint64_t i = 0; i < samples; i++) {
         const Tick t0 = cluster.eventQueue().now();
         if (is_write)
             client.rwrite(addr, buf, 16);
@@ -45,7 +46,8 @@ rdmaHistogram(bool is_write)
     QpId qp = node.createQp();
     std::uint8_t buf[16] = {};
     LatencyHistogram hist;
-    for (int i = 0; i < 3000; i++) {
+    const std::uint64_t samples = bench::iters(3000);
+    for (std::uint64_t i = 0; i < samples; i++) {
         auto res = is_write ? node.write(qp, *mr, 0, buf, 16)
                             : node.read(qp, *mr, 0, buf, 16);
         hist.record(res.latency);

@@ -31,7 +31,7 @@ goodputGbps(int threads, bool is_write, bool async_api)
         ClioClient *client;
         VirtAddr addr;
         std::vector<std::uint8_t> buf;
-        int remaining = kOpsPerThread;
+        int remaining = static_cast<int>(bench::iters(kOpsPerThread));
         std::vector<HandlePtr> window;
     };
     std::vector<std::unique_ptr<ThreadState>> states;

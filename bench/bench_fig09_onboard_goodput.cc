@@ -48,10 +48,10 @@ onboardGbps(std::uint64_t req_bytes, bool is_write)
     // the pipeline fed (ready = previous completion is NOT required —
     // II=1 means a new request enters as soon as the pipeline accepts
     // it, so feed with ready=0 and let occupancy modeling spread them).
-    const int kRequests = 3000;
+    const std::uint64_t requests = bench::iters(3000);
     Tick last_done = 0;
     std::uint64_t served = 0;
-    for (int i = 0; i < kRequests; i++) {
+    for (std::uint64_t i = 0; i < requests; i++) {
         ResponseMsg resp;
         req.req_id = static_cast<ReqId>(i + 1);
         req.orig_req_id = req.req_id;

@@ -23,7 +23,8 @@ clioReadUs(std::uint64_t size)
     std::vector<std::uint8_t> buf(size, 1);
     client.rwrite(addr, buf.data(), size); // warm
     LatencyHistogram hist;
-    for (int i = 0; i < 200; i++) {
+    const std::uint64_t samples = bench::iters(200);
+    for (std::uint64_t i = 0; i < samples; i++) {
         const Tick t0 = cluster.eventQueue().now();
         client.rread(addr, buf.data(), size);
         hist.record(cluster.eventQueue().now() - t0);
@@ -40,7 +41,8 @@ rdmaReadUs(std::uint64_t size)
     QpId qp = node.createQp();
     std::vector<std::uint8_t> buf(size);
     LatencyHistogram hist;
-    for (int i = 0; i < 200; i++)
+    const std::uint64_t samples = bench::iters(200);
+    for (std::uint64_t i = 0; i < samples; i++)
         hist.record(node.read(qp, *mr, 0, buf.data(), size).latency);
     return ticksToUs(hist.median());
 }
@@ -50,7 +52,8 @@ double
 medianUs(F &&sample)
 {
     LatencyHistogram hist;
-    for (int i = 0; i < 200; i++)
+    const std::uint64_t samples = bench::iters(200);
+    for (std::uint64_t i = 0; i < samples; i++)
         hist.record(sample());
     return ticksToUs(hist.median());
 }

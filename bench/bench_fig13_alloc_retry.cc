@@ -46,7 +46,7 @@ retriesAt(double utilization, std::uint64_t alloc_pages)
 
     // Probe: measure retries of fresh allocations at this fill level.
     double total_retries = 0;
-    const int probes = 30;
+    const int probes = static_cast<int>(bench::iters(30));
     for (int i = 0; i < probes; i++) {
         const ProcId pid = 9;
         auto res = va.allocate(pid, alloc_pages * kPage, kPermReadWrite,

@@ -41,7 +41,8 @@ mops(std::uint32_t num_mns, YcsbWorkload workload)
     ClioClient &loader = cluster.createClient(0);
     ClioKvClient load_kv(loader, mns, kOffloadId);
     const std::string value(kValueBytes, 'v');
-    for (std::uint64_t k = 0; k < kKeys; k++)
+    const std::uint64_t keys = bench::iters(kKeys);
+    for (std::uint64_t k = 0; k < keys; k++)
         load_kv.put(YcsbGenerator::keyString(k), value);
 
     // Concurrent clients in closed loop over async offload calls.
@@ -50,7 +51,7 @@ mops(std::uint32_t num_mns, YcsbWorkload workload)
         ClioClient *client;
         std::unique_ptr<YcsbGenerator> gen;
         std::vector<NodeId> mns;
-        int remaining = kOpsPerClient;
+        int remaining = static_cast<int>(bench::iters(kOpsPerClient));
     };
     std::vector<std::unique_ptr<ClientState>> states;
     ClosedLoopRunner runner(cluster.eventQueue());
@@ -59,7 +60,7 @@ mops(std::uint32_t num_mns, YcsbWorkload workload)
         st->client = &cluster.createClient(
             static_cast<std::uint32_t>(c % 2));
         st->gen = std::make_unique<YcsbGenerator>(
-            kKeys, workload, true, 0.99,
+            keys, workload, true, 0.99,
             static_cast<std::uint64_t>(c) * 7 + 1);
         st->mns = mns;
         states.push_back(std::move(st));

@@ -125,7 +125,11 @@ main()
                              "(ms; 8 images of 64 KB each) vs "
                              "concurrent clients");
     bench::header({"clients", "Clio", "RDMA"});
+    // Smoke mode stops at 200 clients; larger points only add setup.
+    const std::uint32_t max_clients = bench::smokeMode() ? 200 : 800;
     for (std::uint32_t n : {1u, 50u, 100u, 200u, 400u, 600u, 800u}) {
+        if (n > max_clients)
+            continue;
         bench::row(std::to_string(n), {clioRuntime(n), rdmaRuntime(n)});
     }
     bench::note("expected shape: Clio per-client runtime stays near "

@@ -32,12 +32,14 @@ clioKvUs(YcsbWorkload workload)
     ClioClient &client = cluster.createClient(0);
     ClioKvClient kv(client, {cluster.mn(0).nodeId()}, kOffloadId);
     const std::string value(kValueBytes, 'y');
-    for (std::uint64_t k = 0; k < kKeys; k++)
+    const std::uint64_t keys = bench::iters(kKeys);
+    for (std::uint64_t k = 0; k < keys; k++)
         kv.put(YcsbGenerator::keyString(k), value);
 
-    YcsbGenerator gen(kKeys, workload);
+    YcsbGenerator gen(keys, workload);
     LatencyHistogram hist;
-    for (int i = 0; i < kOps; i++) {
+    const std::uint64_t ops = bench::iters(kOps);
+    for (std::uint64_t i = 0; i < ops; i++) {
         const YcsbOp op = gen.next();
         const std::string key = YcsbGenerator::keyString(op.key_index);
         const Tick t0 = cluster.eventQueue().now();
@@ -55,9 +57,10 @@ template <typename GetFn, typename SetFn>
 double
 modelUs(YcsbWorkload workload, GetFn &&get, SetFn &&set)
 {
-    YcsbGenerator gen(kKeys, workload);
+    YcsbGenerator gen(bench::iters(kKeys), workload);
     LatencyHistogram hist;
-    for (int i = 0; i < kOps; i++) {
+    const std::uint64_t ops = bench::iters(kOps);
+    for (std::uint64_t i = 0; i < ops; i++) {
         const YcsbOp op = gen.next();
         hist.record(op.is_set ? set(kValueBytes) : get(kValueBytes));
     }

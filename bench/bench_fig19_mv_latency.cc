@@ -58,7 +58,7 @@ mvLatency(std::uint32_t cns, bool zipf)
         ClioClient *client;
         std::unique_ptr<Rng> rng;
         std::unique_ptr<ZipfianGenerator> zipfgen;
-        int remaining = kOpsPerCn;
+        int remaining = static_cast<int>(bench::iters(kOpsPerCn));
         Tick op_start = 0;
         bool last_was_set = false;
     };

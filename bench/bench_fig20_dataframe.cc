@@ -43,9 +43,10 @@ queryRuntime(int select_pct)
         kAggId, std::make_shared<AggregateOffload>(), client.pid());
 
     Rng rng(select_pct);
-    std::vector<std::uint8_t> col_a(kRows);
-    std::vector<std::int64_t> col_b(kRows);
-    for (std::uint64_t i = 0; i < kRows; i++) {
+    const std::uint64_t rows = bench::iters(kRows);
+    std::vector<std::uint8_t> col_a(rows);
+    std::vector<std::int64_t> col_b(rows);
+    for (std::uint64_t i = 0; i < rows; i++) {
         col_a[i] = rng.chance(select_pct / 100.0) ? 1 : 0;
         col_b[i] = static_cast<std::int64_t>(rng.uniformInt(100));
     }

@@ -34,12 +34,14 @@ clioRuntime(YcsbWorkload workload)
     ClioClient &client = cluster.createClient(0);
     ClioKvClient kv(client, {cluster.mn(0).nodeId()}, kOffloadId);
     const std::string value(kValueBytes, 'e');
-    for (std::uint64_t k = 0; k < kKeys; k++)
+    const std::uint64_t keys = bench::iters(kKeys);
+    for (std::uint64_t k = 0; k < keys; k++)
         kv.put(YcsbGenerator::keyString(k), value);
 
-    YcsbGenerator gen(kKeys, workload);
+    YcsbGenerator gen(keys, workload);
     const Tick t0 = cluster.eventQueue().now();
-    for (int i = 0; i < kOps; i++) {
+    const std::uint64_t ops = bench::iters(kOps);
+    for (std::uint64_t i = 0; i < ops; i++) {
         const YcsbOp op = gen.next();
         const std::string key = YcsbGenerator::keyString(op.key_index);
         if (op.is_set)
@@ -54,9 +56,10 @@ template <typename GetFn, typename SetFn>
 Tick
 modelRuntime(YcsbWorkload workload, GetFn &&get, SetFn &&set)
 {
-    YcsbGenerator gen(kKeys, workload);
+    YcsbGenerator gen(bench::iters(kKeys), workload);
     Tick total = 0;
-    for (int i = 0; i < kOps; i++) {
+    const std::uint64_t ops = bench::iters(kOps);
+    for (std::uint64_t i = 0; i < ops; i++) {
         const YcsbOp op = gen.next();
         total += op.is_set ? set(kValueBytes) : get(kValueBytes);
     }
@@ -77,6 +80,7 @@ main()
 
     bench::header({"workload", "Clio", "Clio-CN", "Clover", "Clover-CN",
                    "HERD", "HERD-CN", "HERD-BF", "HERD-BF-CN"});
+    const std::uint64_t ops = bench::iters(kOps);
     for (auto w : {YcsbWorkload::kA, YcsbWorkload::kB, YcsbWorkload::kC}) {
         const Tick t_clio = clioRuntime(w);
         const Tick t_clover = modelRuntime(
@@ -93,14 +97,14 @@ main()
 
         const auto e_clio = perRequestEnergy(cfg.energy,
                                              SystemKind::kClio, t_clio,
-                                             kOps);
+                                             ops);
         const auto e_clover = perRequestEnergy(
-            cfg.energy, SystemKind::kClover, t_clover, kOps);
+            cfg.energy, SystemKind::kClover, t_clover, ops);
         const auto e_herd = perRequestEnergy(cfg.energy,
                                              SystemKind::kHerd, t_herd,
-                                             kOps);
+                                             ops);
         const auto e_bf = perRequestEnergy(
-            cfg.energy, SystemKind::kHerdBluefield, t_herd_bf, kOps);
+            cfg.energy, SystemKind::kHerdBluefield, t_herd_bf, ops);
         bench::row(ycsbName(w),
                    {e_clio.total(), e_clio.cn_mj, e_clover.total(),
                     e_clover.cn_mj, e_herd.total(), e_herd.cn_mj,

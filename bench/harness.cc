@@ -1,8 +1,25 @@
 #include "harness.hh"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace clio::bench {
+
+bool
+smokeMode()
+{
+    const char *env = std::getenv("CLIO_BENCH_SMOKE");
+    return env != nullptr && *env != '\0' && *env != '0';
+}
+
+std::uint64_t
+iters(std::uint64_t full)
+{
+    if (!smokeMode())
+        return full;
+    const std::uint64_t reduced = full / 8;
+    return reduced > 0 ? reduced : 1;
+}
 
 void
 banner(const std::string &fig, const std::string &caption)

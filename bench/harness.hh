@@ -30,6 +30,18 @@ void row(const std::string &label, const std::vector<double> &values);
 /** Print a closing note (e.g. paper-shape expectation). */
 void note(const std::string &text);
 
+/**
+ * Repetition count for a measurement loop: `full` normally, but
+ * clamped to max(full / 8, 1) when CLIO_BENCH_SMOKE is set in the
+ * environment. The `bench-smoke` ctest label runs every bench with
+ * the variable set so the whole label stays fast in CI; run binaries
+ * directly (no env var) for full-fidelity figure data.
+ */
+std::uint64_t iters(std::uint64_t full);
+
+/** True when the reduced-iteration smoke mode is active. */
+bool smokeMode();
+
 } // namespace clio::bench
 
 #endif // CLIO_BENCH_HARNESS_HH

@@ -1,0 +1,47 @@
+# Provide GTest::gtest_main.
+#
+# Resolution order:
+#   1. An installed GoogleTest (find_package) — fastest, no rebuild.
+#   2. FetchContent. When a vendored checkout is present (either
+#      third_party/googletest in this repo or the distro source package
+#      at /usr/src/googletest), it is used as the FetchContent source
+#      so configuration works offline; otherwise the pinned release
+#      tarball is downloaded.
+
+include_guard(GLOBAL)
+
+find_package(GTest QUIET)
+if(GTest_FOUND)
+  message(STATUS "Clio: using installed GoogleTest (${GTEST_INCLUDE_DIRS})")
+  return()
+endif()
+
+include(FetchContent)
+
+set(_clio_gtest_vendored "")
+foreach(candidate
+    "${CMAKE_SOURCE_DIR}/third_party/googletest"
+    "/usr/src/googletest")
+  if(EXISTS "${candidate}/CMakeLists.txt")
+    set(_clio_gtest_vendored "${candidate}")
+    break()
+  endif()
+endforeach()
+
+if(_clio_gtest_vendored AND NOT DEFINED FETCHCONTENT_SOURCE_DIR_GOOGLETEST)
+  message(STATUS "Clio: using vendored GoogleTest at ${_clio_gtest_vendored}")
+  set(FETCHCONTENT_SOURCE_DIR_GOOGLETEST "${_clio_gtest_vendored}"
+    CACHE PATH "Vendored GoogleTest source" FORCE)
+endif()
+
+# Pinned release; only reached over the network when no install and no
+# vendored copy exists.
+FetchContent_Declare(googletest
+  URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+  URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+
+# Never let gtest's flags leak (and keep gtest off our -Werror diet).
+set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+FetchContent_MakeAvailable(googletest)

@@ -1,0 +1,47 @@
+# Run the determinism gtest suite twice in fresh processes with the
+# same CLIO_SEED, each dumping its recorded run statistics (final data
+# digest, retry/NACK/fault counters, end time, per-op latencies) to a
+# file via CLIO_STATS_OUT; fail unless the two dumps are identical.
+#
+# Usage: cmake -DTEST_BINARY=... -DWORK_DIR=... -P determinism.cmake
+
+if(NOT TEST_BINARY OR NOT WORK_DIR)
+  message(FATAL_ERROR "determinism.cmake needs -DTEST_BINARY and -DWORK_DIR")
+endif()
+
+set(seed 20220228) # ASPLOS'22 session day; any fixed value works.
+
+foreach(run 1 2)
+  set(stats_file "${WORK_DIR}/determinism_run${run}.stats")
+  file(REMOVE "${stats_file}")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+      CLIO_SEED=${seed}
+      CLIO_STATS_OUT=${stats_file}
+      ${TEST_BINARY} --gtest_brief=1
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "determinism run ${run} exited with ${rc}\n${out}\n${err}")
+  endif()
+  if(NOT EXISTS "${stats_file}")
+    message(FATAL_ERROR
+      "determinism run ${run} produced no stats dump at ${stats_file}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    "${WORK_DIR}/determinism_run1.stats"
+    "${WORK_DIR}/determinism_run2.stats"
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  file(READ "${WORK_DIR}/determinism_run1.stats" run1)
+  file(READ "${WORK_DIR}/determinism_run2.stats" run2)
+  message(FATAL_ERROR
+    "determinism violated: two runs with CLIO_SEED=${seed} recorded "
+    "different stats.\n--- run 1 ---\n${run1}\n--- run 2 ---\n${run2}")
+endif()
+message(STATUS "determinism OK: both runs recorded identical stats")

@@ -84,7 +84,8 @@ class YcsbGenerator
     static std::string
     keyString(std::uint64_t index)
     {
-        char buf[24];
+        // "user" + up to 20 digits of a 64-bit value + NUL.
+        char buf[32];
         std::snprintf(buf, sizeof(buf), "user%010llu",
                       static_cast<unsigned long long>(index));
         return buf;

@@ -36,8 +36,10 @@ clioUtilization(const ModelConfig &cfg, const FpgaDevice &dev)
     // --- Clio total ------------------------------------------------
     // VirtMem + NetStack + vendor IPs (PHY, MAC, DDR4 controller,
     // AXI interconnect), which the paper reports dominate the total.
-    const double vendor_lut = 125000.0;
-    const double vendor_bram = 1200000.0;
+    // Calibrated so the default prototype() configuration lands on the
+    // paper's reported totals (31% LUT / 31% BRAM on the ZCU106 part).
+    const double vendor_lut = 116900.0;
+    const double vendor_bram = 1313800.0;
     const double total_lut = virtmem_lut + netstack_lut + vendor_lut;
     const double total_bram = virtmem_bram + netstack_bram + vendor_bram;
 

@@ -1,18 +1,22 @@
 #include "sim/config.hh"
 
+#include "sim/rng.hh"
+
 namespace clio {
 
 ModelConfig
 ModelConfig::prototype()
 {
     // The defaults in the struct definitions *are* the ZCU106 prototype.
-    return ModelConfig{};
+    ModelConfig cfg;
+    cfg.seed = defaultSeed(cfg.seed);
+    return cfg;
 }
 
 ModelConfig
 ModelConfig::asicProjection()
 {
-    ModelConfig cfg;
+    ModelConfig cfg = prototype();
     // 2 GHz ASIC clock (§7.1 latency-variation projection).
     cfg.fast_path.cycle = 500 * kPicosecond;
     // Server-grade DDR controller instead of the slow board controller.

@@ -1,10 +1,28 @@
 #include "sim/rng.hh"
 
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 
 #include "sim/logging.hh"
 
 namespace clio {
+
+std::uint64_t
+defaultSeed(std::uint64_t fallback)
+{
+    const char *env = std::getenv("CLIO_SEED");
+    if (!env || *env == '\0')
+        return fallback;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(env, &end, 0);
+    if (end == env || *end != '\0' || errno == ERANGE) {
+        warnMsg(detail::strfmt("ignoring malformed CLIO_SEED '%s'", env));
+        return fallback;
+    }
+    return static_cast<std::uint64_t>(v);
+}
 
 namespace {
 

@@ -18,6 +18,17 @@
 namespace clio {
 
 /**
+ * Master seed for a simulation run: the value of the CLIO_SEED
+ * environment variable when set (parsed as an unsigned integer),
+ * otherwise `fallback`. ModelConfig presets route their default seed
+ * through this, so `CLIO_SEED=7 ./bench_fig07_latency_cdf` reruns a
+ * whole figure under a different (still deterministic) seed without
+ * recompiling, and the `determinism` ctest can pin two fresh processes
+ * to one seed.
+ */
+std::uint64_t defaultSeed(std::uint64_t fallback);
+
+/**
  * xoshiro256** generator: tiny, fast, and high quality; preferable to
  * std::mt19937 here because its state is 4 words and copies are cheap.
  */

@@ -195,6 +195,62 @@ TEST(DedupBufferUnit, RecordFindEvict)
     EXPECT_EQ(buf.size(), 3u);
 }
 
+TEST(DedupBufferUnit, EvictionIsStrictlyFifoAcrossWraparound)
+{
+    DedupBuffer buf(4);
+    EXPECT_EQ(buf.capacity(), 4u);
+    // Fill several times over; exactly the last 4 ids must survive.
+    for (ReqId id = 1; id <= 25; id++)
+        buf.record(id, id * 10);
+    EXPECT_EQ(buf.size(), 4u);
+    for (ReqId id = 1; id <= 21; id++)
+        EXPECT_FALSE(buf.find(id).has_value()) << "id " << id;
+    for (ReqId id = 22; id <= 25; id++)
+        EXPECT_EQ(buf.find(id).value_or(0), id * 10) << "id " << id;
+}
+
+TEST(DedupBufferUnit, WritesCacheZeroAtomicsCacheResults)
+{
+    DedupBuffer buf(8);
+    buf.record(7); // a write: no atomic result
+    buf.record(8, 0xDEADu); // an atomic: cached return value
+    // Both are "found" (execution must be suppressed); only the
+    // atomic carries a meaningful replay value.
+    ASSERT_TRUE(buf.find(7).has_value());
+    EXPECT_EQ(*buf.find(7), 0u);
+    ASSERT_TRUE(buf.find(8).has_value());
+    EXPECT_EQ(*buf.find(8), 0xDEADu);
+}
+
+TEST(DedupBufferUnit, SuppressedStatCountsOnlyWhenNoted)
+{
+    DedupBuffer buf(4);
+    buf.record(1, 11);
+    EXPECT_EQ(buf.suppressed(), 0u);
+    // A retry hit: the MN replays the cached result and notes it.
+    ASSERT_TRUE(buf.find(1).has_value());
+    buf.noteSuppressed();
+    buf.noteSuppressed();
+    EXPECT_EQ(buf.suppressed(), 2u);
+    // Lookups alone never bump the stat.
+    (void)buf.find(1);
+    (void)buf.find(99);
+    EXPECT_EQ(buf.suppressed(), 2u);
+}
+
+TEST(DedupBufferUnit, CapacityOneKeepsOnlyNewest)
+{
+    // Degenerate sizing (TIMEOUT x bandwidth rounding down): the ring
+    // still works, holding exactly the most recent id.
+    DedupBuffer buf(1);
+    buf.record(5, 55);
+    EXPECT_EQ(buf.find(5).value_or(0), 55u);
+    buf.record(6, 66);
+    EXPECT_FALSE(buf.find(5).has_value());
+    EXPECT_EQ(buf.find(6).value_or(0), 66u);
+    EXPECT_EQ(buf.size(), 1u);
+}
+
 TEST(CBoardDevice, FenceGatesLaterFastPathWork)
 {
     // After a fence completes at tick T, requests arriving earlier

@@ -138,8 +138,9 @@ TEST(Controller, BalancePressureReducesHotMn)
     double max_after = 0;
     for (std::uint32_t m = 0; m < 3; m++)
         max_after = std::max(max_after, cluster.mn(m).memoryPressure());
-    if (!reports.empty())
+    if (!reports.empty()) {
         EXPECT_LT(max_after, max_before);
+    }
     // Integrity after any movement.
     for (int i = 0; i < 8; i++) {
         std::uint64_t out = 0;

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "cluster/cluster.hh"
@@ -71,10 +73,45 @@ runWorkload(std::uint64_t seed)
     return out;
 }
 
+/**
+ * Append a run's recorded stats to the file named by CLIO_STATS_OUT
+ * (no-op when unset). The `determinism` ctest runs this binary twice
+ * in fresh processes with the same CLIO_SEED and diffs the two dumps,
+ * catching nondeterminism that hides inside one process (ASLR-derived
+ * hashing, static init order) which the in-process tests below cannot.
+ */
+void
+dumpStats(const char *tag, std::uint64_t seed, const RunResult &r)
+{
+    const char *path = std::getenv("CLIO_STATS_OUT");
+    if (!path || *path == '\0')
+        return;
+    std::FILE *f = std::fopen(path, "a");
+    ASSERT_NE(f, nullptr) << "cannot open CLIO_STATS_OUT " << path;
+    std::uint64_t data_hash = 1469598103934665603ull; // FNV-1a
+    for (std::uint8_t b : r.final_data)
+        data_hash = (data_hash ^ b) * 1099511628211ull;
+    std::fprintf(f,
+                 "%s seed=%llu data=%016llx retries=%llu nacks=%llu "
+                 "reordered=%llu faults=%llu end=%llu",
+                 tag, (unsigned long long)seed,
+                 (unsigned long long)data_hash,
+                 (unsigned long long)r.retries, (unsigned long long)r.nacks,
+                 (unsigned long long)r.reordered,
+                 (unsigned long long)r.page_faults,
+                 (unsigned long long)r.end_time);
+    for (Tick t : r.latencies)
+        std::fprintf(f, " %llu", (unsigned long long)t);
+    std::fprintf(f, "\n");
+    std::fclose(f);
+}
+
 TEST(Determinism, IdenticalSeedsIdenticalRuns)
 {
-    const RunResult r1 = runWorkload(1234);
-    const RunResult r2 = runWorkload(1234);
+    const std::uint64_t seed = defaultSeed(1234);
+    const RunResult r1 = runWorkload(seed);
+    const RunResult r2 = runWorkload(seed);
+    dumpStats("identical", seed, r1);
     EXPECT_EQ(r1.final_data, r2.final_data);
     EXPECT_EQ(r1.retries, r2.retries);
     EXPECT_EQ(r1.nacks, r2.nacks);
@@ -86,15 +123,18 @@ TEST(Determinism, IdenticalSeedsIdenticalRuns)
 
 TEST(Determinism, DifferentSeedsDiverge)
 {
-    const RunResult r1 = runWorkload(1234);
-    const RunResult r2 = runWorkload(5678);
+    const std::uint64_t seed = defaultSeed(1234);
+    const RunResult r1 = runWorkload(seed);
+    const RunResult r2 = runWorkload(seed + 4444);
     // Fault injection differs, so the timing trace must differ.
     EXPECT_NE(r1.latencies, r2.latencies);
 }
 
 TEST(Determinism, FaultInjectionActuallyFired)
 {
-    const RunResult r = runWorkload(1234);
+    const std::uint64_t seed = defaultSeed(1234);
+    const RunResult r = runWorkload(seed);
+    dumpStats("faults", seed, r);
     EXPECT_GT(r.retries + r.nacks, 0u);
     EXPECT_GT(r.reordered, 0u);
     EXPECT_GT(r.page_faults, 0u);

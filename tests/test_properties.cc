@@ -242,8 +242,9 @@ TEST_P(RetrySweep, CountersNeverDoubleApply)
     std::uint64_t final_value = 0;
     ASSERT_EQ(client.rread(counter, &final_value, 8), Status::kOk);
     EXPECT_EQ(final_value, static_cast<std::uint64_t>(increments));
-    if (GetParam() > 0)
+    if (GetParam() > 0) {
         EXPECT_GT(cluster.cn(0).stats().retries, 0u);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(LossRates, RetrySweep,
