@@ -36,7 +36,7 @@ faultStorm(std::uint32_t buffer_pages)
 
     // Touch 256 fresh pages back to back: every write faults.
     const std::uint64_t page = cfg.page_table.page_size;
-    const VirtAddr addr = client.ralloc(300 * page);
+    const VirtAddr addr = client.ralloc(300 * page).value_or(0);
     LatencyHistogram hist;
     std::uint64_t v = 7;
     const std::uint64_t faults = bench::iters(256);

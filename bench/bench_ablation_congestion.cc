@@ -57,6 +57,7 @@ incast(bool control_enabled)
         std::vector<std::uint8_t> buf;
         int remaining = static_cast<int>(bench::iters(200));
         Tick issued_at = 0;
+        std::vector<Completion> comps;
     };
     auto hist = std::make_shared<LatencyHistogram>();
     ClosedLoopRunner runner(cluster.eventQueue());
@@ -65,7 +66,7 @@ incast(bool control_enabled)
         auto st = std::make_unique<Client>();
         st->client = &cluster.createClient(
             static_cast<std::uint32_t>(c % 3));
-        st->addr = st->client->ralloc(4 * MiB);
+        st->addr = st->client->ralloc(4 * MiB).value_or(0);
         st->buf.resize(1024);
         st->client->rwrite(st->addr, st->buf.data(), st->buf.size());
         clients.push_back(std::move(st));
@@ -75,25 +76,22 @@ incast(bool control_enabled)
     for (auto &cp : clients) {
         Client *c = cp.get();
         runner.addActor([c, &eq, hist, &bytes]() -> ActorStep {
+            // Record the previous batch's per-request latencies from
+            // the delivered completion timestamps.
+            for (const Completion &comp : c->comps)
+                hist->record(comp.completed_at - c->issued_at);
+            c->comps.clear();
             if (c->remaining-- <= 0)
                 return ActorStep::done();
             bytes += 12 * 1024;
-            // Twelve async reads per step: aggressive offered load
+            // Twelve reads in one doorbell: aggressive offered load
             // (12 clients x 12 responses converge on the CN links).
             // Every request records its own end-to-end latency.
-            HandlePtr last;
-            for (int i = 0; i < 12; i++) {
-                const Tick t0 = eq.now();
-                last = c->client->rreadAsync(c->addr + i * 1024,
-                                             c->buf.data(), 1024);
-                if (i < 11) {
-                    last->on_done = [t0, hist, &eq] {
-                        hist->record(eq.now() - t0);
-                    };
-                }
-            }
+            SubmissionBatch batch(*c->client);
+            for (int i = 0; i < 12; i++)
+                batch.read(c->addr + i * 1024, c->buf.data(), 1024);
             c->issued_at = eq.now();
-            return ActorStep::wait(last);
+            return ActorStep::waitAll(std::move(batch), &c->comps);
         });
     }
     const Tick elapsed = runner.run();

@@ -36,7 +36,7 @@ clioLatencyUs(std::uint32_t procs, bool is_write)
         std::min<std::uint32_t>(procs, 64); // sampled issuers
     for (std::uint32_t p = 0; p < live; p++) {
         ClioClient &c = cluster.createClient(p % 4);
-        const VirtAddr a = c.ralloc(4 * MiB);
+        const VirtAddr a = c.ralloc(4 * MiB).value_or(0);
         std::uint64_t v = p;
         c.rwrite(a, &v, sizeof(v)); // fault + warm
         clients.push_back(&c);

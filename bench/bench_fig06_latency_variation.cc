@@ -30,7 +30,7 @@ clioLatencyUs(const ModelConfig &cfg, bool is_write, ClioState state)
     const std::uint64_t page = cfg.page_table.page_size;
 
     // Enough pages that kPageFault can fault a fresh page per sample.
-    const VirtAddr base = client.ralloc(220 * page);
+    const VirtAddr base = client.ralloc(220 * page).value_or(0);
     std::uint8_t buf[16] = {};
     if (state != ClioState::kPageFault) {
         client.rwrite(base, buf, 16); // bind + warm page 0

@@ -20,7 +20,7 @@ clioHistogram(bool is_write)
 {
     Cluster cluster(ModelConfig::prototype(), 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(4 * MiB);
+    const VirtAddr addr = client.ralloc(4 * MiB).value_or(0);
     std::uint8_t buf[16] = {};
     client.rwrite(addr, buf, 16); // warm
 

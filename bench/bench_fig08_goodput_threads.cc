@@ -32,14 +32,14 @@ goodputGbps(int threads, bool is_write, bool async_api)
         VirtAddr addr;
         std::vector<std::uint8_t> buf;
         int remaining = static_cast<int>(bench::iters(kOpsPerThread));
-        std::vector<HandlePtr> window;
+        std::size_t window = 0; ///< ops in the submitted batch
     };
     std::vector<std::unique_ptr<ThreadState>> states;
 
     for (int t = 0; t < threads; t++) {
         auto st = std::make_unique<ThreadState>();
         st->client = &cluster.createClient(0);
-        st->addr = st->client->ralloc(8 * MiB);
+        st->addr = st->client->ralloc(8 * MiB).value_or(0);
         st->buf.resize(kReqBytes, 0x77);
         // Warm both pages.
         st->client->rwrite(st->addr, st->buf.data(), kReqBytes);
@@ -54,29 +54,28 @@ goodputGbps(int threads, bool is_write, bool async_api)
         runner.addActor([st, is_write, async_api,
                          &bytes_done]() -> ActorStep {
             // Completed window bytes from the previous step.
-            bytes_done += kReqBytes * st->window.size();
-            st->window.clear();
+            bytes_done += kReqBytes * st->window;
+            st->window = 0;
             if (st->remaining <= 0)
                 return ActorStep::done();
-            const int batch =
+            const int window =
                 async_api ? std::min(kAsyncWindow, st->remaining) : 1;
-            HandlePtr last;
-            for (int i = 0; i < batch; i++) {
-                // Alternate pages so async ops are independent (T2).
+            // One doorbell per window; alternate pages so the batch
+            // members are independent (T2).
+            SubmissionBatch batch(*st->client);
+            for (int i = 0; i < window; i++) {
                 const VirtAddr a =
                     st->addr + (i % 2) * 4 * MiB +
                     static_cast<std::uint64_t>(i / 2) * kReqBytes;
-                last = is_write
-                           ? st->client->rwriteAsync(a, st->buf.data(),
-                                                     kReqBytes)
-                           : st->client->rreadAsync(a, st->buf.data(),
-                                                    kReqBytes);
-                st->window.push_back(last);
+                if (is_write)
+                    batch.write(a, st->buf.data(), kReqBytes);
+                else
+                    batch.read(a, st->buf.data(), kReqBytes);
             }
-            st->remaining -= batch;
-            // Resume when the last of the batch completes (requests
-            // to one MN complete in issue order on a loss-free run).
-            return ActorStep::wait(last);
+            st->remaining -= window;
+            st->window = batch.size();
+            // Resume when the whole batch completes.
+            return ActorStep::waitAll(std::move(batch));
         });
     }
     const Tick elapsed = runner.run();

@@ -19,7 +19,7 @@ clioReadUs(std::uint64_t size)
 {
     Cluster cluster(ModelConfig::prototype(), 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(8 * MiB);
+    const VirtAddr addr = client.ralloc(8 * MiB).value_or(0);
     std::vector<std::uint8_t> buf(size, 1);
     client.rwrite(addr, buf.data(), size); // warm
     LatencyHistogram hist;

@@ -32,7 +32,7 @@ clioAlloc(std::uint64_t bytes)
     ClioAllocSample out{};
     {
         const Tick t0 = eq.now();
-        const VirtAddr a = client.ralloc(bytes);
+        const VirtAddr a = client.ralloc(bytes).value_or(0);
         out.alloc_ms =
             ticksToUs(eq.now() - t0) / 1000.0;
         const Tick t1 = eq.now();
@@ -41,7 +41,7 @@ clioAlloc(std::uint64_t bytes)
     }
     {
         const Tick t0 = eq.now();
-        const VirtAddr a = client.ralloc(bytes, kPermReadWrite, true);
+        const VirtAddr a = client.ralloc(bytes, kPermReadWrite, true).value_or(0);
         out.alloc_phys_ms = ticksToUs(eq.now() - t0) / 1000.0;
         client.rfree(a);
     }

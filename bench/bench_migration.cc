@@ -30,7 +30,7 @@ main()
     for (std::uint64_t mb : {64u, 256u, 512u, 1024u}) {
         if (mb > max_mb)
             continue;
-        const VirtAddr addr = client.ralloc(mb * MiB);
+        const VirtAddr addr = client.ralloc(mb * MiB).value_or(0);
         if (!addr) {
             bench::row(std::to_string(mb), {-1, -1, -1});
             continue;

@@ -1,0 +1,33 @@
+# Header self-containment check: every public header under src/ must
+# compile as its own translation unit (all of its includes in place),
+# so an API refactor cannot silently leave a header depending on its
+# includer's context. Each header gets a generated one-line stub TU;
+# they build as part of ALL and as an explicit CI target.
+
+file(GLOB_RECURSE CLIO_PUBLIC_HEADERS
+  RELATIVE ${CMAKE_SOURCE_DIR}/src
+  CONFIGURE_DEPENDS
+  ${CMAKE_SOURCE_DIR}/src/*.hh)
+
+set(_stub_dir ${CMAKE_BINARY_DIR}/header_selfcheck)
+set(_stubs "")
+foreach(header IN LISTS CLIO_PUBLIC_HEADERS)
+  string(REPLACE "/" "_" _stub_name ${header})
+  string(REGEX REPLACE "\\.hh$" ".cc" _stub_name ${_stub_name})
+  set(_stub ${_stub_dir}/${_stub_name})
+  # Include twice so a missing include guard fails too.
+  set(_content "#include \"${header}\"\n#include \"${header}\"\n")
+  set(_old "")
+  if(EXISTS ${_stub})
+    file(READ ${_stub} _old)
+  endif()
+  if(NOT _old STREQUAL _content)
+    file(WRITE ${_stub} ${_content})
+  endif()
+  list(APPEND _stubs ${_stub})
+endforeach()
+
+add_library(clio_header_selfcheck OBJECT ${_stubs})
+target_include_directories(clio_header_selfcheck
+  PRIVATE ${CMAKE_SOURCE_DIR}/src)
+target_link_libraries(clio_header_selfcheck PRIVATE clio_warnings)

@@ -45,7 +45,7 @@ main()
     std::vector<VirtAddr> chunks;
     std::uint64_t stamp = 1;
     for (int i = 0; i < 7; i++) {
-        const VirtAddr a = client.ralloc(32 * MiB);
+        const VirtAddr a = client.ralloc(32 * MiB).value_or(0);
         if (!a)
             break;
         for (std::uint64_t off = 0; off < 32 * MiB; off += 4 * MiB) {

@@ -1,10 +1,11 @@
 /**
  * @file
- * Quickstart: the paper's Figure 1 example, almost verbatim.
+ * Quickstart: the paper's Figure 1 example on the typed CLib surface.
  *
  * Builds a one-CN / one-MN Clio cluster, allocates a remote page,
- * performs two asynchronous writes inside an rlock critical section,
- * polls for completion, and synchronously reads the data back.
+ * performs two writes batched into one doorbell inside an rlock
+ * critical section, reaps them from a completion queue, and reads the
+ * data back through a typed RemoteSlice.
  *
  *   $ ./quickstart
  */
@@ -12,6 +13,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "clib/queue.hh"
+#include "clib/remote_ptr.hh"
 #include "cluster/cluster.hh"
 
 using namespace clio;
@@ -25,36 +28,47 @@ main()
 
     /* Alloc one remote page. Define a remote lock. (Fig. 1) */
     const std::uint64_t kPageSize = 4 * MiB;
-    const VirtAddr remote_addr = client.ralloc(kPageSize);
-    const VirtAddr lock = client.ralloc(kPageSize);
-    if (!remote_addr || !lock) {
-        std::fprintf(stderr, "allocation failed\n");
+    auto page = RemoteRegion::alloc(client, kPageSize);
+    auto lock_page = RemoteRegion::alloc(client, kPageSize);
+    if (!page || !lock_page) {
+        std::fprintf(stderr, "allocation failed: %s / %s\n",
+                     page.statusName(), lock_page.statusName());
         return 1;
     }
+    const VirtAddr remote_addr = page->addr();
+    const VirtAddr lock = lock_page->addr();
     std::printf("allocated remote page at VA 0x%llx\n",
                 (unsigned long long)remote_addr);
 
-    /* Thread 1: acquire lock, two ASYNC writes, unlock, poll. */
+    /* Thread 1: acquire lock, two writes in ONE doorbell, unlock,
+     * reap both completions from the queue. */
     const char msg1[] = "hello ";
     const char msg2[] = "remote memory";
     client.rlock(lock);
-    auto e0 = client.rwriteAsync(remote_addr, msg1, sizeof(msg1) - 1);
-    auto e1 = client.rwriteAsync(remote_addr + sizeof(msg1) - 1, msg2,
-                                 sizeof(msg2));
+    CompletionQueue cq(cluster.eventQueue());
+    SubmissionBatch batch(client);
+    batch.write(remote_addr, msg1, sizeof(msg1) - 1);
+    batch.write(remote_addr + sizeof(msg1) - 1, msg2, sizeof(msg2));
+    batch.submit(cq, /*base_tag=*/0);
     client.runlock(lock);
-    client.rpoll({e0, e1});
-    std::printf("async writes completed: %s / %s\n",
-                e0->status == Status::kOk ? "ok" : "failed",
-                e1->status == Status::kOk ? "ok" : "failed");
+    std::size_t completed = 0, failed = 0;
+    while (completed < 2) {
+        for (const Completion &c : cq.rpoll_cq(2)) {
+            completed++;
+            failed += !c.ok();
+        }
+    }
+    std::printf("batched writes completed: %zu ok, %zu failed\n",
+                completed - failed, failed);
 
-    /* Thread 2: synchronously read from remote. */
+    /* Thread 2: synchronously read back through a bounds-checked
+     * slice of the page. */
     char buffer[32] = {};
     client.rlock(lock);
-    const Status status =
-        client.rread(remote_addr, buffer, sizeof(msg1) - 1 + sizeof(msg2));
+    const Status status = page->slice().read(
+        0, buffer, sizeof(msg1) - 1 + sizeof(msg2));
     client.runlock(lock);
-    std::printf("read back: \"%s\" (%s)\n", buffer,
-                status == Status::kOk ? "ok" : "failed");
+    std::printf("read back: \"%s\" (%s)\n", buffer, to_string(status));
 
     /* Inspect what the hardware did. */
     const auto &mn_stats = cluster.mn(0).stats();
@@ -67,7 +81,6 @@ main()
                 (unsigned long long)cluster.mn(0).tlb().hits(),
                 (unsigned long long)cluster.mn(0).tlb().misses());
 
-    client.rfree(remote_addr);
-    client.rfree(lock);
+    /* The RemoteRegions rfree their pages when they go out of scope. */
     return std::strcmp(buffer, "hello remote memory") == 0 ? 0 : 1;
 }

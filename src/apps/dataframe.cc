@@ -140,14 +140,17 @@ ClioDataFrame::load(const std::vector<std::uint8_t> &col_a,
 {
     clio_assert(col_a.size() == col_b.size(), "ragged columns");
     rows_ = col_a.size();
-    col_a_ = client_.ralloc(std::max<std::uint64_t>(rows_, 1));
-    col_b_ = client_.ralloc(std::max<std::uint64_t>(rows_ * 8, 8));
-    scratch_ = client_.ralloc(std::max<std::uint64_t>(rows_ * 8, 8));
+    col_a_ = client_.ralloc(std::max<std::uint64_t>(rows_, 1)).value_or(0);
+    col_b_ =
+        client_.ralloc(std::max<std::uint64_t>(rows_ * 8, 8)).value_or(0);
+    scratch_ =
+        client_.ralloc(std::max<std::uint64_t>(rows_ * 8, 8)).value_or(0);
     if (!col_a_ || !col_b_ || !scratch_)
         return false;
-    if (client_.rwrite(col_a_, col_a.data(), rows_) != Status::kOk)
-        return false;
-    return client_.rwrite(col_b_, col_b.data(), rows_ * 8) == Status::kOk;
+    // Upload both columns in one doorbell.
+    return client_.rwritev({{col_a_, col_a.data(), rows_},
+                            {col_b_, col_b.data(), rows_ * 8}}) ==
+           Status::kOk;
 }
 
 void
@@ -187,24 +190,24 @@ ClioDataFrame::runOffload(std::uint8_t match)
     sel.out_addr = scratch_;
     sel.rows = rows_;
     sel.match = match;
-    auto sel_req = std::make_shared<RequestMsg>();
-    std::uint64_t selected = 0;
-    if (client_.offloadCall(mn_, select_id_, SelectOffload::encode(sel),
-                            nullptr, &selected) != Status::kOk)
+    const Result<OffloadReply> sel_reply =
+        client_.rcall(mn_, select_id_, SelectOffload::encode(sel));
+    if (!sel_reply)
         return out;
     out.net_bytes += sizeof(sel) + 32;
+    const std::uint64_t selected = sel_reply->value;
     out.selected = selected;
-    (void)sel_req;
 
     // 2) aggregate at the MN over the compacted values.
     AggregateOffload::Args agg;
     agg.values_addr = scratch_;
     agg.count = selected;
-    std::uint64_t avg_bits = 0;
-    if (client_.offloadCall(mn_, agg_id_, AggregateOffload::encode(agg),
-                            nullptr, &avg_bits) != Status::kOk)
+    const Result<OffloadReply> agg_reply =
+        client_.rcall(mn_, agg_id_, AggregateOffload::encode(agg));
+    if (!agg_reply)
         return out;
     out.net_bytes += sizeof(agg) + 32;
+    const std::uint64_t avg_bits = agg_reply->value;
     std::memcpy(&out.avg, &avg_bits, 8);
 
     // 3) histogram at the CN: fetch ONLY the selected values.
@@ -229,9 +232,9 @@ ClioDataFrame::runAtCn(std::uint8_t match)
     // select, aggregate, and histogram locally.
     std::vector<std::uint8_t> col_a(rows_);
     std::vector<std::int64_t> col_b(rows_);
-    if (client_.rread(col_a_, col_a.data(), rows_) != Status::kOk)
-        return out;
-    if (client_.rread(col_b_, col_b.data(), rows_ * 8) != Status::kOk)
+    if (client_.rreadv({{col_a_, col_a.data(), rows_},
+                        {col_b_, col_b.data(), rows_ * 8}}) !=
+        Status::kOk)
         return out;
     out.net_bytes += rows_ * 9;
 

@@ -72,23 +72,24 @@ ImageCompressionTask::ImageCompressionTask(ClioClient &client,
 bool
 ImageCompressionTask::setup()
 {
-    originals_ = client_.ralloc(static_cast<std::uint64_t>(images_) *
-                                image_bytes_);
-    compressed_ = client_.ralloc(static_cast<std::uint64_t>(images_) *
-                                 slot_bytes_);
-    if (!originals_ || !compressed_)
+    auto orig = RemoteRegion::alloc(
+        client_, static_cast<std::uint64_t>(images_) * image_bytes_);
+    auto comp = RemoteRegion::alloc(
+        client_, static_cast<std::uint64_t>(images_) * slot_bytes_);
+    if (!orig || !comp)
         return false;
+    originals_ = std::move(*orig);
+    compressed_ = std::move(*comp);
     // Upload the collection. Images within a collection differ by
     // their seed; dimensions follow the Fig. 16 workload (256x256).
     const std::uint32_t side = 256;
+    const RemoteSlice slice = originals_.slice();
     for (std::uint32_t i = 0; i < images_; i++) {
         auto img = makeSyntheticImage(side, image_bytes_ / side,
                                       seed_ * 1000003 + i);
         img.resize(image_bytes_);
-        if (client_.rwrite(originals_ +
-                               static_cast<std::uint64_t>(i) *
-                                   image_bytes_,
-                           img.data(), image_bytes_) != Status::kOk)
+        if (slice.write(static_cast<std::uint64_t>(i) * image_bytes_,
+                        img.data(), image_bytes_) != Status::kOk)
             return false;
     }
     return true;
@@ -110,8 +111,9 @@ ImageCompressionTask::actor()
                 }
                 phase_ = Phase::kCompress;
                 return ActorStep::wait(client_.rreadAsync(
-                    originals_ + static_cast<std::uint64_t>(current_) *
-                                     image_bytes_,
+                    originals_.addr() +
+                        static_cast<std::uint64_t>(current_) *
+                            image_bytes_,
                     io_buf_.data(), image_bytes_));
               }
               case Phase::kCompress: {
@@ -130,8 +132,9 @@ ImageCompressionTask::actor()
                 std::memcpy(blob.data() + 8, out_buf_.data(),
                             out_buf_.size());
                 auto handle = client_.rwriteAsync(
-                    compressed_ + static_cast<std::uint64_t>(current_) *
-                                      slot_bytes_,
+                    compressed_.addr() +
+                        static_cast<std::uint64_t>(current_) *
+                            slot_bytes_,
                     blob.data(), blob.size());
                 processed_++;
                 current_++;
@@ -152,19 +155,18 @@ ImageCompressionTask::verifyRoundTrip(std::uint32_t index)
     // Fetch the original and the stored compressed blob; check the
     // decompression matches.
     std::vector<std::uint8_t> orig(image_bytes_);
-    if (client_.rread(originals_ +
-                          static_cast<std::uint64_t>(index) *
-                              image_bytes_,
-                      orig.data(), image_bytes_) != Status::kOk)
+    if (originals_.slice().read(static_cast<std::uint64_t>(index) *
+                                    image_bytes_,
+                                orig.data(), image_bytes_) != Status::kOk)
         return false;
-    std::uint64_t len = 0;
-    const VirtAddr slot =
-        compressed_ + static_cast<std::uint64_t>(index) * slot_bytes_;
-    if (client_.rread(slot, &len, 8) != Status::kOk || len == 0 ||
-        len > slot_bytes_ - 8)
+    // The image's slot, viewed as a length-prefixed blob.
+    const RemoteSlice slot = compressed_.slice().subslice(
+        static_cast<std::uint64_t>(index) * slot_bytes_, slot_bytes_);
+    const Result<std::uint64_t> len = slot.ptr<std::uint64_t>().read();
+    if (!len || *len == 0 || *len > slot_bytes_ - 8)
         return false;
-    std::vector<std::uint8_t> blob(len);
-    if (client_.rread(slot + 8, blob.data(), len) != Status::kOk)
+    std::vector<std::uint8_t> blob(*len);
+    if (slot.read(8, blob.data(), *len) != Status::kOk)
         return false;
     return rleDecompress(blob) == orig;
 }

@@ -17,6 +17,7 @@
 
 #include "apps/runner.hh"
 #include "clib/client.hh"
+#include "clib/remote_ptr.hh"
 
 namespace clio {
 
@@ -69,8 +70,9 @@ class ImageCompressionTask
     Tick cpu_ps_per_byte_;
     std::uint64_t seed_;
 
-    VirtAddr originals_ = 0;
-    VirtAddr compressed_ = 0;
+    /** Remote photo arrays, freed with the task (RAII). */
+    RemoteRegion originals_;
+    RemoteRegion compressed_;
     /** Compressed slot stride (worst-case RLE is 2x input). */
     std::uint64_t slot_bytes_ = 0;
 

@@ -346,34 +346,30 @@ ClioKvClient::mnForKey(const std::string &key) const
 bool
 ClioKvClient::put(const std::string &key, const std::string &value)
 {
-    return client_.offloadCall(mnForKey(key), offload_id_,
-                               kvEncode(KvOp::kPut, key, value)) ==
-           Status::kOk;
+    return client_
+        .rcall(mnForKey(key), offload_id_,
+               kvEncode(KvOp::kPut, key, value))
+        .ok();
 }
 
 std::optional<std::string>
 ClioKvClient::get(const std::string &key)
 {
-    std::vector<std::uint8_t> result;
-    std::uint64_t found = 0;
-    const Status st =
-        client_.offloadCall(mnForKey(key), offload_id_,
-                            kvEncode(KvOp::kGet, key), &result, &found,
-                            /*expected_resp_bytes=*/1200);
-    if (st != Status::kOk || !found)
+    const Result<OffloadReply> reply =
+        client_.rcall(mnForKey(key), offload_id_,
+                      kvEncode(KvOp::kGet, key),
+                      /*expected_resp_bytes=*/1200);
+    if (!reply || !reply->value)
         return std::nullopt;
-    return std::string(result.begin(), result.end());
+    return std::string(reply->data.begin(), reply->data.end());
 }
 
 bool
 ClioKvClient::del(const std::string &key)
 {
-    std::uint64_t deleted = 0;
-    const Status st =
-        client_.offloadCall(mnForKey(key), offload_id_,
-                            kvEncode(KvOp::kDelete, key), nullptr,
-                            &deleted);
-    return st == Status::kOk && deleted == 1;
+    const Result<OffloadReply> reply = client_.rcall(
+        mnForKey(key), offload_id_, kvEncode(KvOp::kDelete, key));
+    return reply.ok() && reply->value == 1;
 }
 
 } // namespace clio

@@ -193,11 +193,11 @@ ClioMvClient::ClioMvClient(ClioClient &client, NodeId mn,
 std::optional<std::uint64_t>
 ClioMvClient::create()
 {
-    std::uint64_t id = 0;
-    if (client_.offloadCall(mn_, offload_id_, mvEncode(MvOp::kCreate),
-                            nullptr, &id) != Status::kOk)
+    const Result<OffloadReply> reply =
+        client_.rcall(mn_, offload_id_, mvEncode(MvOp::kCreate));
+    if (!reply)
         return std::nullopt;
-    return id;
+    return reply->value;
 }
 
 std::optional<std::uint64_t>
@@ -205,42 +205,40 @@ ClioMvClient::append(std::uint64_t id, const std::string &value)
 {
     clio_assert(value.size() == value_size_,
                 "Clio-MV values are fixed size");
-    std::uint64_t version = 0;
-    if (client_.offloadCall(mn_, offload_id_,
-                            mvEncode(MvOp::kAppend, id, 0, value),
-                            nullptr, &version) != Status::kOk)
+    const Result<OffloadReply> reply = client_.rcall(
+        mn_, offload_id_, mvEncode(MvOp::kAppend, id, 0, value));
+    if (!reply)
         return std::nullopt;
-    return version;
+    return reply->value;
 }
 
 std::optional<std::string>
 ClioMvClient::readLatest(std::uint64_t id)
 {
-    std::vector<std::uint8_t> data;
-    if (client_.offloadCall(mn_, offload_id_,
-                            mvEncode(MvOp::kReadLatest, id), &data,
-                            nullptr, value_size_ + 32) != Status::kOk)
+    const Result<OffloadReply> reply =
+        client_.rcall(mn_, offload_id_, mvEncode(MvOp::kReadLatest, id),
+                      value_size_ + 32);
+    if (!reply)
         return std::nullopt;
-    return std::string(data.begin(), data.end());
+    return std::string(reply->data.begin(), reply->data.end());
 }
 
 std::optional<std::string>
 ClioMvClient::readVersion(std::uint64_t id, std::uint64_t version)
 {
-    std::vector<std::uint8_t> data;
-    if (client_.offloadCall(mn_, offload_id_,
-                            mvEncode(MvOp::kReadVersion, id, version),
-                            &data, nullptr,
-                            value_size_ + 32) != Status::kOk)
+    const Result<OffloadReply> reply = client_.rcall(
+        mn_, offload_id_, mvEncode(MvOp::kReadVersion, id, version),
+        value_size_ + 32);
+    if (!reply)
         return std::nullopt;
-    return std::string(data.begin(), data.end());
+    return std::string(reply->data.begin(), reply->data.end());
 }
 
 bool
 ClioMvClient::remove(std::uint64_t id)
 {
-    return client_.offloadCall(mn_, offload_id_,
-                               mvEncode(MvOp::kDelete, id)) == Status::kOk;
+    return client_.rcall(mn_, offload_id_, mvEncode(MvOp::kDelete, id))
+        .ok();
 }
 
 } // namespace clio

@@ -74,11 +74,10 @@ RemoteRadixTree::RemoteRadixTree(ClioClient &client, NodeId mn,
     : client_(client), mn_(mn), chase_id_(chase_offload_id),
       arena_bytes_(arena_bytes)
 {
-    arena_ = client_.ralloc(arena_bytes_);
+    arena_ = client_.ralloc(arena_bytes_).value_or(0);
     clio_assert(arena_ != 0, "radix arena allocation failed");
     root_ = allocNode();
-    NodeImage root{};
-    client_.rwrite(root_, &root, kNodeBytes);
+    node(root_).write(NodeImage{});
 }
 
 VirtAddr
@@ -99,41 +98,41 @@ RemoteRadixTree::insert(const std::string &key, std::uint64_t value)
     VirtAddr cur = root_;
     for (char c : key) {
         // Walk the child list looking for the edge character.
-        NodeImage cur_img;
-        if (client_.rread(cur, &cur_img, kNodeBytes) != Status::kOk)
+        const Result<NodeImage> cur_img = node(cur).read();
+        if (!cur_img)
             return false;
-        VirtAddr child = cur_img.child_head;
+        VirtAddr child = cur_img->child_head;
         VirtAddr found = 0;
         while (child) {
-            NodeImage img;
-            if (client_.rread(child, &img, kNodeBytes) != Status::kOk)
+            const Result<NodeImage> img = node(child).read();
+            if (!img)
                 return false;
-            if (img.ch == static_cast<std::uint64_t>(
-                              static_cast<std::uint8_t>(c))) {
+            if (img->ch == static_cast<std::uint64_t>(
+                               static_cast<std::uint8_t>(c))) {
                 found = child;
                 break;
             }
-            child = img.next;
+            child = img->next;
         }
         if (!found) {
             found = allocNode();
             if (!found)
                 return false;
             NodeImage fresh{};
-            fresh.next = cur_img.child_head;
+            fresh.next = cur_img->child_head;
             fresh.ch = static_cast<std::uint8_t>(c);
-            if (client_.rwrite(found, &fresh, kNodeBytes) != Status::kOk)
+            if (node(found).write(fresh) != Status::kOk)
                 return false;
-            // Push-front into the parent's child list.
-            cur_img.child_head = found;
-            if (client_.rwrite(cur + 8, &cur_img.child_head, 8) !=
-                Status::kOk)
+            // Push-front into the parent's child list (field at +8).
+            RemotePtr<std::uint64_t> head(client_, cur + 8);
+            if (head.write(found) != Status::kOk)
                 return false;
         }
         cur = found;
     }
-    // Terminal payload.
-    return client_.rwrite(cur + 24, &value, 8) == Status::kOk;
+    // Terminal payload (field at +24).
+    return RemotePtr<std::uint64_t>(client_, cur + 24).write(value) ==
+           Status::kOk;
 }
 
 bool
@@ -191,10 +190,11 @@ RemoteRadixTree::searchOffload(const std::string &key)
 {
     RadixSearchResult out;
     // Read the root once to obtain the first child list head.
-    NodeImage img;
-    if (client_.rread(root_, &img, kNodeBytes) != Status::kOk)
+    const Result<NodeImage> root = node(root_).read();
+    if (!root)
         return out;
     out.remote_reads++;
+    NodeImage img = *root;
     for (char c : key) {
         if (!img.child_head)
             return out; // dead end
@@ -204,18 +204,18 @@ RemoteRadixTree::searchOffload(const std::string &key)
         args.value_offset = 16; // NodeImage::ch
         args.next_offset = 0;   // NodeImage::next
         args.node_bytes = kNodeBytes;
-        std::vector<std::uint8_t> node_bytes;
-        std::uint64_t match = 0;
-        if (client_.offloadCall(mn_, chase_id_,
-                                PointerChaseOffload::encode(args),
-                                &node_bytes, &match,
-                                kNodeBytes + 32) != Status::kOk)
+        const Result<OffloadReply> reply =
+            client_.rcall(mn_, chase_id_,
+                          PointerChaseOffload::encode(args),
+                          kNodeBytes + 32);
+        if (!reply)
             return out;
         out.offload_calls++;
-        if (!match)
+        if (!reply->value)
             return out; // no such edge
-        clio_assert(node_bytes.size() == kNodeBytes, "short chase reply");
-        std::memcpy(&img, node_bytes.data(), kNodeBytes);
+        clio_assert(reply->data.size() == kNodeBytes,
+                    "short chase reply");
+        std::memcpy(&img, reply->data.data(), kNodeBytes);
     }
     if (img.value)
         out.value = img.value;
@@ -226,16 +226,19 @@ RadixSearchResult
 RemoteRadixTree::searchDirect(const std::string &key)
 {
     RadixSearchResult out;
-    NodeImage img;
-    if (client_.rread(root_, &img, kNodeBytes) != Status::kOk)
+    const Result<NodeImage> root = node(root_).read();
+    if (!root)
         return out;
     out.remote_reads++;
+    NodeImage img = *root;
     for (char c : key) {
         VirtAddr child = img.child_head;
         bool found = false;
         while (child) {
-            if (client_.rread(child, &img, kNodeBytes) != Status::kOk)
+            const Result<NodeImage> next = node(child).read();
+            if (!next)
                 return out;
+            img = *next;
             out.remote_reads++;
             if (img.ch == static_cast<std::uint64_t>(
                               static_cast<std::uint8_t>(c))) {

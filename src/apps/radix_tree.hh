@@ -22,6 +22,7 @@
 
 #include "cboard/offload.hh"
 #include "clib/client.hh"
+#include "clib/remote_ptr.hh"
 
 namespace clio {
 
@@ -116,6 +117,12 @@ class RemoteRadixTree
 
     /** Bump-allocate a node slot in the remote arena (0 = full). */
     VirtAddr allocNode();
+
+    /** Typed view of the node stored at `addr`. */
+    RemotePtr<NodeImage> node(VirtAddr addr)
+    {
+        return RemotePtr<NodeImage>(client_, addr);
+    }
 
     ClioClient &client_;
     NodeId mn_;

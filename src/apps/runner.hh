@@ -2,9 +2,15 @@
  * @file
  * Closed-loop workload runner: drives N concurrent client "actors"
  * over one simulated cluster. Each actor is a resumable state machine
- * that, when advanced, either issues an asynchronous Clio request
- * (resuming on its completion), asks to sleep for some simulated time
- * (modeling CN-side compute such as image compression), or finishes.
+ * that, when advanced, either issues asynchronous Clio work (a single
+ * request or a whole SubmissionBatch, resuming on completion), asks
+ * to sleep for some simulated time (modeling CN-side compute such as
+ * image compression), or finishes.
+ *
+ * Actor resumption flows through one shared CompletionQueue: the
+ * runner watches every issued handle (tagged with the actor index)
+ * and advances an actor when all of its outstanding completions have
+ * been delivered. No callback on any handle is ever mutated.
  *
  * This is how the multi-client evaluation scenarios (Figs. 8, 16, 18,
  * 19) express concurrency on top of the single-threaded
@@ -16,9 +22,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "clib/client.hh"
+#include "clib/queue.hh"
 #include "sim/event_queue.hh"
 
 namespace clio {
@@ -28,16 +36,32 @@ struct ActorStep
 {
     /** Wait for this request, then resume (null = no request). */
     HandlePtr handle;
+    /** Submit this batch in one doorbell and resume once EVERY op in
+     * it completed (empty = no batch). */
+    SubmissionBatch batch;
+    /** Where to put the step's completions (completion order) right
+     * before resuming; null = discard. */
+    std::vector<Completion> *completions_out = nullptr;
     /** Sleep this long before resuming (CPU compute model). */
     Tick delay = 0;
     /** Actor has finished its workload. */
     bool finished = false;
 
     static ActorStep
-    wait(HandlePtr h)
+    wait(HandlePtr h, std::vector<Completion> *out = nullptr)
     {
         ActorStep step;
         step.handle = std::move(h);
+        step.completions_out = out;
+        return step;
+    }
+
+    static ActorStep
+    waitAll(SubmissionBatch &&b, std::vector<Completion> *out = nullptr)
+    {
+        ActorStep step;
+        step.batch = std::move(b);
+        step.completions_out = out;
         return step;
     }
 
@@ -64,7 +88,7 @@ class ClosedLoopRunner
   public:
     using Actor = std::function<ActorStep()>;
 
-    explicit ClosedLoopRunner(EventQueue &eq) : eq_(eq) {}
+    explicit ClosedLoopRunner(EventQueue &eq) : eq_(eq), cq_(eq) {}
 
     /** Register an actor (not started yet). */
     void
@@ -84,13 +108,33 @@ class ClosedLoopRunner
     {
         const Tick t0 = eq_.now();
         finished_ = 0;
+        waits_.assign(actors_.size(), Wait{});
         for (std::size_t i = 0; i < actors_.size(); i++)
             advance(i);
-        eq_.runUntil([this] { return finished_ == actors_.size(); });
+        while (finished_ < actors_.size()) {
+            // Pump until a completion lands (compute-sleeping actors
+            // advance via their own scheduled events meanwhile).
+            const bool ok = eq_.runUntil([this] {
+                return finished_ == actors_.size() || cq_.ready() > 0;
+            });
+            clio_assert(ok, "runner: simulation drained with %zu of "
+                            "%zu actors unfinished",
+                        actors_.size() - finished_, actors_.size());
+            for (Completion &c : cq_.poll(actors_.size()))
+                onCompletion(std::move(c));
+        }
         return eq_.now() - t0;
     }
 
   private:
+    /** One actor's outstanding wait-step bookkeeping. */
+    struct Wait
+    {
+        std::size_t remaining = 0;
+        std::vector<Completion> comps;
+        std::vector<Completion> *out = nullptr;
+    };
+
     void
     advance(std::size_t idx)
     {
@@ -99,17 +143,46 @@ class ClosedLoopRunner
             finished_++;
             return;
         }
+        Wait &wait = waits_[idx];
         if (step.handle) {
-            // Resume when the request completes (handles finish only
-            // via queue events, so registering here is race-free).
-            step.handle->on_done = [this, idx] { advance(idx); };
+            wait.remaining = 1;
+            wait.comps.clear();
+            wait.out = step.completions_out;
+            cq_.watch(step.handle, idx);
+            return;
+        }
+        if (!step.batch.empty()) {
+            wait.remaining = step.batch.size();
+            wait.comps.clear();
+            wait.out = step.completions_out;
+            // Uniform tag (stride 0): every completion maps back to
+            // this actor.
+            step.batch.submit(cq_, idx, 0);
             return;
         }
         eq_.scheduleAfter(step.delay, [this, idx] { advance(idx); });
     }
 
+    void
+    onCompletion(Completion c)
+    {
+        const auto idx = static_cast<std::size_t>(c.tag);
+        Wait &wait = waits_[idx];
+        clio_assert(wait.remaining > 0, "completion for an idle actor");
+        if (wait.out)
+            wait.comps.push_back(std::move(c));
+        if (--wait.remaining > 0)
+            return;
+        if (wait.out)
+            *wait.out = std::move(wait.comps);
+        wait.comps.clear();
+        advance(idx);
+    }
+
     EventQueue &eq_;
+    CompletionQueue cq_;
     std::vector<Actor> actors_;
+    std::vector<Wait> waits_;
     std::size_t finished_ = 0;
 };
 

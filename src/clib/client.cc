@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "clib/queue.hh"
 #include "sim/logging.hh"
 
 namespace clio {
@@ -148,9 +149,11 @@ ClioClient::onComplete(std::uint64_t op_seq, Status status,
     }
 
     op.handle->done = true;
-    if (op.handle->on_done) {
-        auto hook = std::move(op.handle->on_done);
-        hook();
+    op.handle->completed_at_ = cn_.eventQueue().now();
+    if (op.handle->cq_) {
+        // Queue-based delivery: single-shot by construction (the
+        // handle's latch is consumed inside deliver()).
+        op.handle->cq_->deliver(op.handle);
     }
     drainPending();
 }
@@ -264,15 +267,24 @@ ClioClient::rreadAsync(VirtAddr addr, void *buf, std::uint64_t len)
 HandlePtr
 ClioClient::rwriteAsync(VirtAddr addr, const void *src, std::uint64_t len)
 {
+    std::vector<std::uint8_t> data(
+        static_cast<const std::uint8_t *>(src),
+        static_cast<const std::uint8_t *>(src) + len);
+    return rwriteAsync(addr, std::move(data));
+}
+
+HandlePtr
+ClioClient::rwriteAsync(VirtAddr addr, std::vector<std::uint8_t> data)
+{
     stats_.writes++;
+    const std::uint64_t len = data.size();
     auto req = std::make_shared<RequestMsg>();
     req->type = MsgType::kWrite;
     req->pid = pid_;
     req->dst = mnFor(addr);
     req->addr = addr;
     req->size = len;
-    req->data.resize(len);
-    std::memcpy(req->data.data(), src, len);
+    req->data = std::move(data);
     Op op;
     op.fp = Footprint{addr / kTrackPage, (addr + len - 1) / kTrackPage,
                       true, false};
@@ -372,11 +384,12 @@ ClioClient::rrelease()
 // Synchronous API
 // ---------------------------------------------------------------------
 
-VirtAddr
+Result<VirtAddr>
 ClioClient::ralloc(std::uint64_t size, std::uint8_t perm, bool populate)
 {
     auto h = rallocAsync(size, perm, populate);
-    return rpoll(h) ? h->value : 0;
+    rpoll(h);
+    return h->result();
 }
 
 Status
@@ -403,13 +416,30 @@ ClioClient::rwrite(VirtAddr addr, const void *src, std::uint64_t len)
     return h->status;
 }
 
-std::optional<std::uint64_t>
+Result<std::uint64_t>
 ClioClient::rfaa(VirtAddr addr, std::uint64_t add)
 {
     auto h = atomicAsync(addr, AtomicOp::kFetchAdd, add);
-    if (!rpoll(h))
-        return std::nullopt;
-    return h->value;
+    rpoll(h);
+    return h->result();
+}
+
+Status
+ClioClient::rreadv(const std::vector<ReadSeg> &segs)
+{
+    SubmissionBatch batch(*this);
+    for (const ReadSeg &seg : segs)
+        batch.read(seg.addr, seg.buf, seg.len);
+    return batch.submitAndWait().status;
+}
+
+Status
+ClioClient::rwritev(const std::vector<WriteSeg> &segs)
+{
+    SubmissionBatch batch(*this);
+    for (const WriteSeg &seg : segs)
+        batch.write(seg.addr, seg.src, seg.len);
+    return batch.submitAndWait().status;
 }
 
 bool
@@ -445,21 +475,20 @@ ClioClient::rfence()
     return h->status;
 }
 
-Status
-ClioClient::offloadCall(NodeId mn, std::uint32_t offload_id,
-                        std::vector<std::uint8_t> arg,
-                        std::vector<std::uint8_t> *result,
-                        std::uint64_t *value,
-                        std::uint64_t expected_resp_bytes)
+Result<OffloadReply>
+ClioClient::rcall(NodeId mn, std::uint32_t offload_id,
+                  std::vector<std::uint8_t> arg,
+                  std::uint64_t expected_resp_bytes)
 {
     auto h = offloadAsync(mn, offload_id, std::move(arg),
                           expected_resp_bytes);
     rpoll(h);
-    if (result)
-        *result = h->data;
-    if (value)
-        *value = h->value;
-    return h->status;
+    if (h->status != Status::kOk)
+        return h->status;
+    OffloadReply reply;
+    reply.value = h->value;
+    reply.data = std::move(h->data);
+    return reply;
 }
 
 } // namespace clio

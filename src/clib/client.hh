@@ -10,6 +10,15 @@
  * on the same page are never outstanding together; conflicting
  * requests are queued and issued only when their predecessors finish.
  *
+ * Three layers of surface, highest first:
+ *  - typed sync calls returning Result<T> (see result.hh), plus
+ *    RemotePtr/RemoteSlice/RemoteRegion wrappers (remote_ptr.hh);
+ *  - batched submission: SubmissionBatch groups N requests into one
+ *    doorbell and a CompletionQueue delivers their completions in
+ *    completion order (queue.hh) — the io_uring/verbs SQ/CQ idiom;
+ *  - raw async handles + rpoll, the low-level path the other two are
+ *    built on (and what tests use to pin ordering semantics).
+ *
  * Synchronous calls pump the cluster's event queue until completion,
  * which lets single-threaded application code drive the simulation
  * naturally (other actors' events interleave while pumping).
@@ -23,31 +32,87 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <optional>
 #include <vector>
 
 #include "clib/cnode.hh"
+#include "clib/result.hh"
 #include "pagetable/pte.hh"
 #include "proto/messages.hh"
 #include "sim/stats.hh"
 
 namespace clio {
 
-/** Completion handle returned by asynchronous APIs (poll via rpoll). */
+class CompletionQueue;
+class SubmissionBatch;
+
+/**
+ * Completion handle returned by asynchronous APIs. Complete it via
+ * rpoll(), or register it on a CompletionQueue (watch / batch submit)
+ * for queue-based delivery. The continuation is owned by the bound
+ * CompletionQueue and fires at most once by construction — there is
+ * deliberately no user-mutable callback here.
+ */
 struct RequestHandle
 {
     bool done = false;
     Status status = Status::kOk;
     /** Scalar result (allocated VA, atomic old value, offload value). */
     std::uint64_t value = 0;
-    /** Offload result payload (reads land in the caller's buffer). */
+    /** Offload result payload (reads land in the caller's buffer).
+     * Moved into the Completion when a CompletionQueue is bound. */
     std::vector<std::uint8_t> data;
-    /** Optional completion hook (used by closed-loop workload actors);
-     * invoked once, right after `done` flips to true. */
-    std::function<void()> on_done;
+
+    /** Scalar result as a typed Result (status + value). */
+    Result<std::uint64_t> result() const
+    {
+        if (status != Status::kOk)
+            return status;
+        return value;
+    }
+
+  private:
+    friend class ClioClient;
+    friend class CompletionQueue;
+    /** Queue this handle's completion is delivered to (at most one;
+     * bound via CompletionQueue::watch or SubmissionBatch::submit). */
+    CompletionQueue *cq_ = nullptr;
+    std::uint64_t tag_ = 0;
+    /** Single-shot latch: set when the completion is delivered. */
+    bool delivered_ = false;
+    /** Simulated time the request completed (stamped by the client,
+     * surfaced as Completion::completed_at even when the handle is
+     * watched only after completion). */
+    Tick completed_at_ = 0;
 };
 
 using HandlePtr = std::shared_ptr<RequestHandle>;
+
+/** One segment of a vectored read (buffer must outlive completion). */
+struct ReadSeg
+{
+    VirtAddr addr = 0;
+    void *buf = nullptr;
+    std::uint64_t len = 0;
+};
+
+/** One segment of a vectored write (the payload is copied when the
+ * segment is staged, so the source only needs to live through the
+ * rwritev/SubmissionBatch::write call itself). */
+struct WriteSeg
+{
+    VirtAddr addr = 0;
+    const void *src = nullptr;
+    std::uint64_t len = 0;
+};
+
+/** Reply of a synchronous offload invocation (extend path, §4.6). */
+struct OffloadReply
+{
+    /** Scalar result register. */
+    std::uint64_t value = 0;
+    /** Result payload. */
+    std::vector<std::uint8_t> data;
+};
 
 /** Per-client operation counters. */
 struct ClientStats
@@ -60,6 +125,8 @@ struct ClientStats
     std::uint64_t fences = 0;
     std::uint64_t offloads = 0;
     std::uint64_t ordering_stalls = 0; ///< requests queued on a conflict
+    std::uint64_t batches = 0;         ///< SubmissionBatch doorbells
+    std::uint64_t batched_ops = 0;     ///< ops submitted via batches
 };
 
 /** One application process using Clio. */
@@ -101,7 +168,8 @@ class ClioClient
      * programs do). */
     void copyRoutingFrom(const ClioClient &other);
 
-    /** @{ Asynchronous API (§3.1). Handles complete via rpoll().
+    /** @{ Asynchronous API (§3.1). Handles complete via rpoll(), or
+     * via a CompletionQueue when registered on one.
      * @param mn_override 0 = placement policy picks the MN; otherwise
      *        the allocation targets this node (replication, tests). */
     HandlePtr rallocAsync(std::uint64_t size,
@@ -112,6 +180,8 @@ class ClioClient
     HandlePtr rreadAsync(VirtAddr addr, void *buf, std::uint64_t len);
     HandlePtr rwriteAsync(VirtAddr addr, const void *src,
                           std::uint64_t len);
+    /** Write overload taking ownership of the payload (no copy). */
+    HandlePtr rwriteAsync(VirtAddr addr, std::vector<std::uint8_t> data);
     HandlePtr atomicAsync(VirtAddr addr, AtomicOp op,
                           std::uint64_t arg0 = 0, std::uint64_t arg1 = 0);
     HandlePtr fenceAsync();
@@ -129,15 +199,23 @@ class ClioClient
      * client returns (T2's rrelease semantics). */
     void rrelease();
 
-    /** @{ Synchronous API: async + rpoll. */
-    VirtAddr ralloc(std::uint64_t size,
-                    std::uint8_t perm = kPermReadWrite,
-                    bool populate = false); ///< 0 on failure
+    /** @{ Synchronous API: async + rpoll, typed results. */
+    Result<VirtAddr> ralloc(std::uint64_t size,
+                            std::uint8_t perm = kPermReadWrite,
+                            bool populate = false);
     Status rfree(VirtAddr addr);
     Status rread(VirtAddr addr, void *buf, std::uint64_t len);
     Status rwrite(VirtAddr addr, const void *src, std::uint64_t len);
-    /** Atomic fetch-add; nullopt on failure. */
-    std::optional<std::uint64_t> rfaa(VirtAddr addr, std::uint64_t add);
+    /** Atomic fetch-add on a remote 64-bit word. */
+    Result<std::uint64_t> rfaa(VirtAddr addr, std::uint64_t add);
+    /** @} */
+
+    /** @{ Vectored API: all segments admitted in one doorbell (the
+     * ordering layer still serializes conflicting segments), then
+     * completed together. @return first failing status, kOk if all
+     * succeeded. */
+    Status rreadv(const std::vector<ReadSeg> &segs);
+    Status rwritev(const std::vector<WriteSeg> &segs);
     /** @} */
 
     /** @{ Synchronization primitives (§3.1), MN-executed (T3). */
@@ -147,11 +225,9 @@ class ClioClient
     /** @} */
 
     /** Synchronous offload invocation (extend path, §4.6). */
-    Status offloadCall(NodeId mn, std::uint32_t offload_id,
-                       std::vector<std::uint8_t> arg,
-                       std::vector<std::uint8_t> *result = nullptr,
-                       std::uint64_t *value = nullptr,
-                       std::uint64_t expected_resp_bytes = 256);
+    Result<OffloadReply> rcall(NodeId mn, std::uint32_t offload_id,
+                               std::vector<std::uint8_t> arg,
+                               std::uint64_t expected_resp_bytes = 256);
 
     const ClientStats &stats() const { return stats_; }
 
@@ -161,6 +237,8 @@ class ClioClient
     }
 
   private:
+    friend class SubmissionBatch;
+
     /** Page-interval footprint of one request for conflict checks. */
     struct Footprint
     {

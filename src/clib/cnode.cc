@@ -187,6 +187,12 @@ CNode::retry(Outstanding out, bool congestion_signal)
     if (out.retries >= cfg_.clib.max_retries) {
         // Give up: surface the failure to the application (§4.5 T4,
         // "extremely rare").
+        warnMsg(detail::strfmt(
+            "CN %u: request %llu to MN %u failed with %s after %u "
+            "retries",
+            node_, (unsigned long long)out.req->orig_req_id,
+            out.req->dst, to_string(Status::kRetryExceeded),
+            out.retries));
         stats_.failures++;
         PerMn &st = mnState(mn);
         clio_assert(st.inflight > 0, "inflight underflow");

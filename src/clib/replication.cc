@@ -1,5 +1,6 @@
 #include "clib/replication.hh"
 
+#include "clib/queue.hh"
 #include "sim/logging.hh"
 
 namespace clio {
@@ -10,15 +11,16 @@ ReplicatedRegion::ReplicatedRegion(ClioClient &client, std::uint64_t size,
 {
     clio_assert(primary_mn != backup_mn,
                 "replicas must live on distinct MNs");
-    auto hp = client_.rallocAsync(size, kPermReadWrite, false,
-                                  primary_mn);
-    auto hb = client_.rallocAsync(size, kPermReadWrite, false,
-                                  backup_mn);
-    client_.rpoll({hp, hb});
-    if (hp->status == Status::kOk)
-        primary_ = hp->value;
-    if (hb->status == Status::kOk)
-        backup_ = hb->value;
+    SubmissionBatch batch(client_);
+    const std::size_t p =
+        batch.alloc(size, kPermReadWrite, false, primary_mn);
+    const std::size_t b =
+        batch.alloc(size, kPermReadWrite, false, backup_mn);
+    const BatchOutcome out = batch.submitAndWait();
+    if (out.completions[p].ok())
+        primary_ = out.completions[p].value;
+    if (out.completions[b].ok())
+        backup_ = out.completions[b].value;
 }
 
 Status
@@ -26,26 +28,30 @@ ReplicatedRegion::write(std::uint64_t offset, const void *src,
                         std::uint64_t len)
 {
     clio_assert(offset + len <= size_, "replicated write out of range");
-    std::vector<HandlePtr> handles;
-    HandlePtr hp, hb;
-    if (primary_alive_)
-        handles.push_back(hp = client_.rwriteAsync(primary_ + offset,
-                                                   src, len));
-    if (backup_alive_)
-        handles.push_back(hb = client_.rwriteAsync(backup_ + offset,
-                                                   src, len));
-    if (handles.empty())
+    // Write-all in one doorbell: both replica writes leave together.
+    SubmissionBatch batch(client_);
+    std::size_t p_index = 0, b_index = 0;
+    bool p_sent = false, b_sent = false;
+    if (primary_alive_) {
+        p_index = batch.write(primary_ + offset, src, len);
+        p_sent = true;
+    }
+    if (backup_alive_) {
+        b_index = batch.write(backup_ + offset, src, len);
+        b_sent = true;
+    }
+    if (batch.empty())
         return Status::kRetryExceeded; // both replicas failed
-    client_.rpoll(handles);
+    const BatchOutcome out = batch.submitAndWait();
     // A replica that exhausted retries is marked failed; the write
     // succeeds if at least one replica holds the data (degraded mode).
-    if (hp && hp->status != Status::kOk)
+    const bool p_ok = p_sent && out.completions[p_index].ok();
+    const bool b_ok = b_sent && out.completions[b_index].ok();
+    if (p_sent && !p_ok)
         primary_alive_ = false;
-    if (hb && hb->status != Status::kOk)
+    if (b_sent && !b_ok)
         backup_alive_ = false;
-    const bool any_ok = (hp && hp->status == Status::kOk) ||
-                        (hb && hb->status == Status::kOk);
-    return any_ok ? Status::kOk : Status::kRetryExceeded;
+    return (p_ok || b_ok) ? Status::kOk : Status::kRetryExceeded;
 }
 
 Status

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Typed operation results for the CLib surface (§3.1).
+ *
+ * Result<T> is an expected-like carrier of either a value or a
+ * non-kOk Status. It replaces the bool/Status/value triple that used
+ * to be smeared across RequestHandle and out-parameters: synchronous
+ * APIs return Result<T> directly, and batched completions convert to
+ * it via Completion::result().
+ */
+
+#ifndef CLIO_CLIB_RESULT_HH
+#define CLIO_CLIB_RESULT_HH
+
+#include <utility>
+
+#include "proto/messages.hh"
+#include "sim/logging.hh"
+
+namespace clio {
+
+/** Either a T (status kOk) or a failure Status — never both. */
+template <typename T>
+class Result
+{
+  public:
+    /** Success, carrying the operation's value. */
+    Result(T value) : status_(Status::kOk), value_(std::move(value)) {}
+
+    /** Failure. The status must be a real error, so kOk can never
+     * coexist with a default-constructed value. */
+    Result(Status error) : status_(error)
+    {
+        clio_assert(error != Status::kOk,
+                    "Result error constructor needs a non-Ok status");
+    }
+
+    bool ok() const { return status_ == Status::kOk; }
+    explicit operator bool() const { return ok(); }
+
+    Status status() const { return status_; }
+
+    /** Status name for log/assert messages ("Ok", "BadAddress", ...). */
+    const char *statusName() const { return to_string(status_); }
+
+    /** @{ The value; asserts on error (check ok() first). */
+    T &value() &
+    {
+        clio_assert(ok(), "Result::value() on error %s", statusName());
+        return value_;
+    }
+    const T &value() const &
+    {
+        clio_assert(ok(), "Result::value() on error %s", statusName());
+        return value_;
+    }
+    T &&value() &&
+    {
+        clio_assert(ok(), "Result::value() on error %s", statusName());
+        return std::move(value_);
+    }
+    T &operator*() & { return value(); }
+    const T &operator*() const & { return value(); }
+    T &&operator*() && { return std::move(*this).value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+    /** @} */
+
+    /** The value, or `fallback` on error. */
+    T value_or(T fallback) const &
+    {
+        return ok() ? value_ : std::move(fallback);
+    }
+    T value_or(T fallback) &&
+    {
+        return ok() ? std::move(value_) : std::move(fallback);
+    }
+
+  private:
+    Status status_;
+    /** Default-constructed on error; only exposed when ok(). */
+    T value_{};
+};
+
+} // namespace clio
+
+#endif // CLIO_CLIB_RESULT_HH

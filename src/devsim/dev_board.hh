@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cboard/cboard.hh"
+#include "clib/result.hh"
 #include "net/network.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
@@ -86,13 +87,16 @@ class DevProcess
 
     ProcId pid() const { return pid_; }
 
-    /** malloc-like remote allocation; 0 on failure. */
-    VirtAddr
+    /** malloc-like remote allocation (same typed result shape as
+     * ClioClient::ralloc, so app code moves between the two). */
+    Result<VirtAddr>
     ralloc(std::uint64_t size, std::uint8_t perm = kPermReadWrite)
     {
         ResponseMsg resp;
         dev_.board_->slowPathAlloc(pid_, size, perm, resp);
-        return resp.status == Status::kOk ? resp.value : 0;
+        if (resp.status != Status::kOk)
+            return resp.status;
+        return resp.value;
     }
 
     Status

@@ -13,6 +13,7 @@
 #define CLIO_PROTO_MESSAGES_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "net/packet.hh"
@@ -38,6 +39,34 @@ enum class Status : std::uint8_t {
     kCorrupt,        ///< NACK: link-layer checksum failure at the MN
     kOffloadError,   ///< extend-path offload rejected the call
 };
+
+/** Human-readable status name (log + test failure messages). */
+inline const char *
+to_string(Status status)
+{
+    switch (status) {
+      case Status::kOk:
+        return "Ok";
+      case Status::kBadAddress:
+        return "BadAddress";
+      case Status::kPermDenied:
+        return "PermDenied";
+      case Status::kOutOfMemory:
+        return "OutOfMemory";
+      case Status::kRetryExceeded:
+        return "RetryExceeded";
+      case Status::kCorrupt:
+        return "Corrupt";
+      case Status::kOffloadError:
+        return "OffloadError";
+    }
+    return "Status(?)";
+}
+
+/** Stream a status by name, so gtest failures read "BadAddress"
+ * rather than a raw enum integer (defined in wire.cc to keep this
+ * hot header free of <ostream>). */
+std::ostream &operator<<(std::ostream &os, Status status);
 
 /** One Clio request (CN -> MN). */
 struct RequestMsg : Message

@@ -1,10 +1,18 @@
 #include "proto/wire.hh"
 
 #include <algorithm>
+#include <ostream>
 
+#include "proto/messages.hh"
 #include "sim/logging.hh"
 
 namespace clio {
+
+std::ostream &
+operator<<(std::ostream &os, Status status)
+{
+    return os << to_string(status);
+}
 
 std::uint32_t
 packetCount(std::uint64_t payload_bytes, std::uint32_t mtu)

@@ -142,21 +142,25 @@ TEST(RadixEdge, ChaseOffloadValidatesArguments)
     cluster.mn(0).registerOffloadShared(
         3, std::make_shared<PointerChaseOffload>(), client.pid());
     // Wrong-size argument blob.
-    EXPECT_EQ(client.offloadCall(cluster.mn(0).nodeId(), 3, {1, 2, 3}),
+    EXPECT_EQ(client.rcall(cluster.mn(0).nodeId(), 3, {1, 2, 3}).status(),
               Status::kOffloadError);
     // Offsets outside the node are rejected, not read.
     PointerChaseOffload::Args args;
     args.start = 4 * MiB;
     args.value_offset = 60; // 60 + 8 > 32
     args.node_bytes = 32;
-    EXPECT_EQ(client.offloadCall(cluster.mn(0).nodeId(), 3,
-                                 PointerChaseOffload::encode(args)),
+    EXPECT_EQ(client
+                  .rcall(cluster.mn(0).nodeId(), 3,
+                         PointerChaseOffload::encode(args))
+                  .status(),
               Status::kOffloadError);
     // Chasing into unallocated memory faults cleanly.
     args.value_offset = 16;
     args.next_offset = 0;
-    EXPECT_EQ(client.offloadCall(cluster.mn(0).nodeId(), 3,
-                                 PointerChaseOffload::encode(args)),
+    EXPECT_EQ(client
+                  .rcall(cluster.mn(0).nodeId(), 3,
+                         PointerChaseOffload::encode(args))
+                  .status(),
               Status::kBadAddress);
 }
 

@@ -281,7 +281,7 @@ TEST(Systems, ClioBeatsLegoOsEndToEnd)
     // same config: hardware MN should win clearly for small reads.
     Cluster cluster(cfg(), 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(4 * MiB);
+    const VirtAddr addr = client.ralloc(4 * MiB).value_or(0);
     std::uint64_t v = 5;
     client.rwrite(addr, &v, sizeof(v)); // warm
 

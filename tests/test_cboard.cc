@@ -257,7 +257,7 @@ TEST(CBoardDevice, FenceGatesLaterFastPathWork)
     // than T may not start before it (T3 gating).
     Cluster cluster(ModelConfig::prototype(), 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(8 * MiB);
+    const VirtAddr addr = client.ralloc(8 * MiB).value_or(0);
     std::uint64_t v = 1;
     client.rwrite(addr, &v, 8);
 
@@ -312,16 +312,14 @@ TEST(CBoardDevice, OffloadAddressSpacesAreIsolated)
     EXPECT_EQ(w1->slot, w2->slot); // same VA, separate spaces
 
     std::vector<std::uint8_t> arg(8);
-    std::uint64_t v1 = 111, v2 = 222, got = 0;
+    std::uint64_t v1 = 111, v2 = 222;
     std::memcpy(arg.data(), &v1, 8);
-    client.offloadCall(cluster.mn(0).nodeId(), 10, arg, nullptr, &got);
+    client.rcall(cluster.mn(0).nodeId(), 10, arg);
     std::memcpy(arg.data(), &v2, 8);
-    client.offloadCall(cluster.mn(0).nodeId(), 11, arg, nullptr, &got);
+    client.rcall(cluster.mn(0).nodeId(), 11, arg);
     // Re-read each offload's value with an empty arg.
-    client.offloadCall(cluster.mn(0).nodeId(), 10, {}, nullptr, &got);
-    EXPECT_EQ(got, v1);
-    client.offloadCall(cluster.mn(0).nodeId(), 11, {}, nullptr, &got);
-    EXPECT_EQ(got, v2);
+    EXPECT_EQ(client.rcall(cluster.mn(0).nodeId(), 10, {})->value, v1);
+    EXPECT_EQ(client.rcall(cluster.mn(0).nodeId(), 11, {})->value, v2);
 }
 
 TEST(CBoardDevice, AsyncBufferRefillsAfterFaultBurst)
@@ -331,7 +329,7 @@ TEST(CBoardDevice, AsyncBufferRefillsAfterFaultBurst)
     Cluster cluster(cfg, 1, 1);
     ClioClient &client = cluster.createClient(0);
     const std::uint64_t page = cfg.page_table.page_size;
-    const VirtAddr addr = client.ralloc(200 * page);
+    const VirtAddr addr = client.ralloc(200 * page).value_or(0);
     std::uint64_t v = 1;
     for (int i = 0; i < 128; i++)
         client.rwrite(addr + static_cast<std::uint64_t>(i) * page, &v, 8);
@@ -348,7 +346,7 @@ TEST(CBoardDevice, BadOffloadIdAndBadFree)
 {
     Cluster cluster(ModelConfig::prototype(), 1, 1);
     ClioClient &client = cluster.createClient(0);
-    EXPECT_EQ(client.offloadCall(cluster.mn(0).nodeId(), 12345, {}),
+    EXPECT_EQ(client.rcall(cluster.mn(0).nodeId(), 12345, {}).status(),
               Status::kOffloadError);
     EXPECT_EQ(client.rfree(123 * MiB), Status::kBadAddress);
 }

@@ -18,7 +18,7 @@ TEST(Controller, WindowsGrantedOnFirstAllocation)
 {
     Cluster cluster(ModelConfig::prototype(), 1, 2);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr a = client.ralloc(4 * MiB);
+    const VirtAddr a = client.ralloc(4 * MiB).value_or(0);
     ASSERT_NE(a, 0u);
     const std::uint32_t mn = cluster.mnIndexOf(client.mnFor(a));
     EXPECT_GT(cluster.mn(mn).vaAllocator().windowBytes(client.pid()), 0u);
@@ -35,7 +35,7 @@ TEST(Controller, LargeAllocationGetsContiguousRegions)
     ClioClient &client = cluster.createClient(0);
     // 2.5 GB > one 1 GB region: the controller must hand out several
     // contiguous regions so the allocation fits one VA range.
-    const VirtAddr big = client.ralloc(2560 * MiB);
+    const VirtAddr big = client.ralloc(2560 * MiB).value_or(0);
     ASSERT_NE(big, 0u);
     std::uint64_t v = 42;
     ASSERT_EQ(client.rwrite(big + 2 * GiB, &v, 8), Status::kOk);
@@ -53,7 +53,7 @@ TEST(Controller, ProcessesGetDisjointVasAcrossMns)
             static_cast<std::uint32_t>(c % 2));
         std::set<VirtAddr> own;
         for (int i = 0; i < 8; i++) {
-            const VirtAddr a = client.ralloc(4 * MiB);
+            const VirtAddr a = client.ralloc(4 * MiB).value_or(0);
             ASSERT_NE(a, 0u);
             // No VA handed out twice within one process, regardless of
             // which MN served the allocation.
@@ -91,7 +91,7 @@ TEST(Controller, MigrationRollsBackWhenDstFull)
     // Fill BOTH MNs nearly full so no destination can admit a region.
     std::vector<VirtAddr> addrs;
     for (int i = 0; i < 3; i++) {
-        const VirtAddr a = client.ralloc(12 * MiB);
+        const VirtAddr a = client.ralloc(12 * MiB).value_or(0);
         ASSERT_NE(a, 0u);
         std::uint64_t v = i;
         for (std::uint64_t off = 0; off < 12 * MiB; off += 4 * MiB)
@@ -123,7 +123,7 @@ TEST(Controller, BalancePressureReducesHotMn)
     // Load up whatever MN gets the allocations.
     std::vector<VirtAddr> addrs;
     for (int i = 0; i < 8; i++) {
-        const VirtAddr a = client.ralloc(8 * MiB);
+        const VirtAddr a = client.ralloc(8 * MiB).value_or(0);
         ASSERT_NE(a, 0u);
         std::uint64_t v = 1000 + i;
         client.rwrite(a, &v, 8);
@@ -157,7 +157,7 @@ TEST(Controller, PlacementPrefersLeastPressured)
     Cluster cluster(cfg, 1, 2, 64 * MiB);
     ClioClient &client = cluster.createClient(0);
     // Consume most of one MN by faulting pages.
-    const VirtAddr a = client.ralloc(32 * MiB);
+    const VirtAddr a = client.ralloc(32 * MiB).value_or(0);
     std::uint64_t v = 7;
     for (std::uint64_t off = 0; off < 32 * MiB; off += 4 * MiB)
         client.rwrite(a + off, &v, 8);
@@ -165,7 +165,7 @@ TEST(Controller, PlacementPrefersLeastPressured)
 
     // Fresh allocations should now land on the other MN.
     ClioClient &other = cluster.createClient(0);
-    const VirtAddr b = other.ralloc(8 * MiB);
+    const VirtAddr b = other.ralloc(8 * MiB).value_or(0);
     ASSERT_NE(b, 0u);
     EXPECT_NE(cluster.mnIndexOf(other.mnFor(b)), loaded);
 }

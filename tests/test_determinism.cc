@@ -42,8 +42,8 @@ runWorkload(std::uint64_t seed)
     ClioClient &a = cluster.createClient(0);
     ClioClient &b = cluster.createClient(1);
 
-    const VirtAddr pa = a.ralloc(16 * MiB);
-    const VirtAddr pb = b.ralloc(16 * MiB);
+    const VirtAddr pa = a.ralloc(16 * MiB).value_or(0);
+    const VirtAddr pb = b.ralloc(16 * MiB).value_or(0);
 
     RunResult out;
     Rng rng(seed * 3 + 1);

@@ -21,7 +21,7 @@ TEST(DevBoard, FunctionalRoundTrip)
 {
     DevBoard dev;
     DevProcess proc = dev.openProcess();
-    const VirtAddr addr = proc.ralloc(8 * MiB);
+    const VirtAddr addr = proc.ralloc(8 * MiB).value_or(0);
     ASSERT_NE(addr, 0u);
     const char msg[] = "developing without hardware";
     ASSERT_EQ(proc.rwrite(addr, msg, sizeof(msg)), Status::kOk);
@@ -37,7 +37,7 @@ TEST(DevBoard, EnforcesSameSemanticsAsCluster)
     DevBoard dev;
     DevProcess alice = dev.openProcess();
     DevProcess bob = dev.openProcess();
-    const VirtAddr a = alice.ralloc(4 * MiB, kPermRead);
+    const VirtAddr a = alice.ralloc(4 * MiB, kPermRead).value_or(0);
     ASSERT_NE(a, 0u);
     std::uint64_t v = 1;
     // Read-only page rejects writes; foreign pid rejects everything.
@@ -69,7 +69,7 @@ TEST(SharedRas, CrossCnSharingThroughOneAddressSpace)
     ClioClient &reader = cluster.createSharedClient(1, writer);
     EXPECT_EQ(writer.pid(), reader.pid());
 
-    const VirtAddr addr = writer.ralloc(4 * MiB);
+    const VirtAddr addr = writer.ralloc(4 * MiB).value_or(0);
     ASSERT_NE(addr, 0u);
     std::uint64_t v = 0xFEED;
     ASSERT_EQ(writer.rwrite(addr, &v, 8), Status::kOk);
@@ -95,7 +95,7 @@ TEST(SharedRas, MnSideLockSerializesCrossCnCriticalSections)
     ClioClient &c1 = cluster.createClient(0);
     ClioClient &c2 = cluster.createSharedClient(1, c1);
 
-    const VirtAddr lock = c1.ralloc(4 * MiB);
+    const VirtAddr lock = c1.ralloc(4 * MiB).value_or(0);
     ASSERT_NE(lock, 0u);
 
     ASSERT_TRUE(c1.rlock(lock));
@@ -115,7 +115,7 @@ TEST(SharedRas, CountersUnderCrossCnContention)
     Cluster cluster(ModelConfig::prototype(), 2, 1);
     ClioClient &c1 = cluster.createClient(0);
     ClioClient &c2 = cluster.createSharedClient(1, c1);
-    const VirtAddr counter = c1.ralloc(4 * MiB);
+    const VirtAddr counter = c1.ralloc(4 * MiB).value_or(0);
 
     std::vector<HandlePtr> handles;
     for (int i = 0; i < 40; i++) {
@@ -139,7 +139,7 @@ TEST(SharedRas, FreedByOneGoneForAll)
     Cluster cluster(ModelConfig::prototype(), 2, 1);
     ClioClient &c1 = cluster.createClient(0);
     ClioClient &c2 = cluster.createSharedClient(1, c1);
-    const VirtAddr addr = c1.ralloc(4 * MiB);
+    const VirtAddr addr = c1.ralloc(4 * MiB).value_or(0);
     std::uint64_t v = 3;
     ASSERT_EQ(c2.rwrite(addr, &v, 8), Status::kOk);
     ASSERT_EQ(c1.rfree(addr), Status::kOk);

@@ -28,7 +28,7 @@ TEST(Integration, AllocWriteReadRoundTrip)
     Cluster cluster(baseConfig(), 1, 1);
     ClioClient &client = cluster.createClient(0);
 
-    const VirtAddr addr = client.ralloc(8 * MiB);
+    const VirtAddr addr = client.ralloc(8 * MiB).value_or(0);
     ASSERT_NE(addr, 0u);
 
     std::vector<std::uint8_t> data(4096);
@@ -46,7 +46,7 @@ TEST(Integration, ByteGranularityAccess)
 {
     Cluster cluster(baseConfig(), 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(4 * MiB);
+    const VirtAddr addr = client.ralloc(4 * MiB).value_or(0);
     ASSERT_NE(addr, 0u);
 
     // Single-byte writes at odd offsets (R1: byte granularity).
@@ -63,7 +63,7 @@ TEST(Integration, FirstTouchPageFaultsCounted)
 {
     Cluster cluster(baseConfig(), 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(16 * MiB); // 4 pages
+    const VirtAddr addr = client.ralloc(16 * MiB).value_or(0); // 4 pages
     ASSERT_NE(addr, 0u);
     EXPECT_EQ(cluster.mn(0).stats().page_faults, 0u);
 
@@ -91,7 +91,7 @@ TEST(Integration, PermissionEnforced)
 {
     Cluster cluster(baseConfig(), 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr ro = client.ralloc(4 * MiB, kPermRead);
+    const VirtAddr ro = client.ralloc(4 * MiB, kPermRead).value_or(0);
     ASSERT_NE(ro, 0u);
     std::uint64_t v = 7;
     EXPECT_EQ(client.rwrite(ro, &v, sizeof(v)), Status::kPermDenied);
@@ -107,7 +107,7 @@ TEST(Integration, ProcessIsolation)
     ClioClient &alice = cluster.createClient(0);
     ClioClient &bob = cluster.createClient(0);
 
-    const VirtAddr a = alice.ralloc(4 * MiB);
+    const VirtAddr a = alice.ralloc(4 * MiB).value_or(0);
     ASSERT_NE(a, 0u);
     std::uint64_t secret = 0xC0FFEE;
     ASSERT_EQ(alice.rwrite(a, &secret, sizeof(secret)), Status::kOk);
@@ -119,7 +119,7 @@ TEST(Integration, ProcessIsolation)
               Status::kBadAddress);
 
     // And Bob allocating the same numeric VA sees his own data only.
-    const VirtAddr b = bob.ralloc(4 * MiB);
+    const VirtAddr b = bob.ralloc(4 * MiB).value_or(0);
     EXPECT_EQ(b, a); // separate RASs may hand out the same VA
     std::uint64_t bv = 0;
     EXPECT_EQ(bob.rread(b, &bv, sizeof(bv)), Status::kOk);
@@ -133,14 +133,14 @@ TEST(Integration, FreeThenAccessFails)
 {
     Cluster cluster(baseConfig(), 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(4 * MiB);
+    const VirtAddr addr = client.ralloc(4 * MiB).value_or(0);
     std::uint64_t v = 9;
     ASSERT_EQ(client.rwrite(addr, &v, sizeof(v)), Status::kOk);
     ASSERT_EQ(client.rfree(addr), Status::kOk);
     EXPECT_EQ(client.rread(addr, &v, sizeof(v)), Status::kBadAddress);
     // Frames were reclaimed: a fresh allocation reuses them and the
     // fault handler zero-binds, so old data never leaks.
-    const VirtAddr addr2 = client.ralloc(4 * MiB);
+    const VirtAddr addr2 = client.ralloc(4 * MiB).value_or(0);
     std::uint64_t leak = 1;
     EXPECT_EQ(client.rread(addr2, &leak, sizeof(leak)), Status::kOk);
     EXPECT_EQ(leak, 0u);
@@ -150,7 +150,7 @@ TEST(Integration, LargeMultiPacketWrite)
 {
     Cluster cluster(baseConfig(), 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(8 * MiB);
+    const VirtAddr addr = client.ralloc(8 * MiB).value_or(0);
 
     // 64 KB write -> dozens of MTU packets (T1 split/reassembly).
     std::vector<std::uint8_t> data(64 * KiB);
@@ -168,7 +168,7 @@ TEST(Integration, CrossPageAccess)
 {
     Cluster cluster(baseConfig(), 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(8 * MiB); // 2 pages
+    const VirtAddr addr = client.ralloc(8 * MiB).value_or(0); // 2 pages
     // Write straddling the 4 MB page boundary.
     std::vector<std::uint8_t> data(8192, 0xEE);
     const VirtAddr at = addr + 4 * MiB - 4096;
@@ -185,7 +185,7 @@ TEST(Integration, AsyncDependentOrdering)
     // asynchronously back to back.
     Cluster cluster(baseConfig(), 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(4 * MiB);
+    const VirtAddr addr = client.ralloc(4 * MiB).value_or(0);
 
     std::uint64_t v1 = 111, v2 = 222, v3 = 333;
     auto h1 = client.rwriteAsync(addr, &v1, sizeof(v1));
@@ -204,7 +204,7 @@ TEST(Integration, AsyncIndependentParallel)
     // Independent pages may be outstanding concurrently (no stalls).
     Cluster cluster(baseConfig(), 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(32 * MiB); // 8 pages
+    const VirtAddr addr = client.ralloc(32 * MiB).value_or(0); // 8 pages
 
     std::vector<HandlePtr> handles;
     std::vector<std::uint64_t> vals(8);
@@ -227,7 +227,7 @@ TEST(Integration, RawDependencyReadSeesWrite)
 {
     Cluster cluster(baseConfig(), 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(4 * MiB);
+    const VirtAddr addr = client.ralloc(4 * MiB).value_or(0);
     std::uint64_t v = 0xDADA;
     std::uint64_t out = 0;
     auto hw = client.rwriteAsync(addr, &v, sizeof(v));
@@ -240,7 +240,7 @@ TEST(Integration, ReleaseWaitsForAll)
 {
     Cluster cluster(baseConfig(), 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(16 * MiB);
+    const VirtAddr addr = client.ralloc(16 * MiB).value_or(0);
     std::uint64_t v = 5;
     for (int i = 0; i < 4; i++)
         client.rwriteAsync(addr + i * 4 * MiB, &v, sizeof(v));
@@ -253,11 +253,11 @@ TEST(Integration, AtomicsSemantics)
 {
     Cluster cluster(baseConfig(), 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(4 * MiB);
+    const VirtAddr addr = client.ralloc(4 * MiB).value_or(0);
 
     // FAA from 0.
     auto old1 = client.rfaa(addr, 5);
-    ASSERT_TRUE(old1.has_value());
+    ASSERT_TRUE(old1.ok());
     EXPECT_EQ(*old1, 0u);
     auto old2 = client.rfaa(addr, 3);
     EXPECT_EQ(*old2, 5u);
@@ -283,7 +283,7 @@ TEST(Integration, LockMutualExclusion)
     ClioClient &c1 = cluster.createClient(0);
     ClioClient &c2 = cluster.createClient(1);
 
-    const VirtAddr lock = c1.ralloc(4 * MiB);
+    const VirtAddr lock = c1.ralloc(4 * MiB).value_or(0);
     ASSERT_NE(lock, 0u);
     // c2 shares the RAS in spirit: for this test both use c1's pid via
     // the same lock VA in c1's space -- instead, c2 gets its own lock
@@ -302,7 +302,7 @@ TEST(Integration, FenceCompletes)
 {
     Cluster cluster(baseConfig(), 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(4 * MiB);
+    const VirtAddr addr = client.ralloc(4 * MiB).value_or(0);
     std::uint64_t v = 1;
     client.rwriteAsync(addr, &v, sizeof(v));
     EXPECT_EQ(client.rfence(), Status::kOk);
@@ -323,7 +323,7 @@ TEST(Integration, LossyNetworkDataIntegrity)
     cfg.clib.max_retries = 8;
     Cluster cluster(cfg, 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(16 * MiB);
+    const VirtAddr addr = client.ralloc(16 * MiB).value_or(0);
     ASSERT_NE(addr, 0u);
 
     Rng rng(77);
@@ -350,7 +350,7 @@ TEST(Integration, CorruptionTriggersNackAndRetry)
     cfg.clib.max_retries = 8;
     Cluster cluster(cfg, 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(8 * MiB);
+    const VirtAddr addr = client.ralloc(8 * MiB).value_or(0);
 
     std::vector<std::uint8_t> data(8 * KiB);
     Rng rng(5);
@@ -377,7 +377,7 @@ TEST(Integration, ReorderedPacketsPlacedCorrectly)
     cfg.net.reorder_rate = 0.3;
     Cluster cluster(cfg, 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(8 * MiB);
+    const VirtAddr addr = client.ralloc(8 * MiB).value_or(0);
 
     std::vector<std::uint8_t> data(32 * KiB);
     Rng rng(9);
@@ -398,7 +398,7 @@ TEST(Integration, DedupSuppressesReplayedWrite)
     Cluster cluster(baseConfig(), 1, 1);
     ClioClient &client = cluster.createClient(0);
     CBoard &mn = cluster.mn(0);
-    const VirtAddr addr = client.ralloc(4 * MiB);
+    const VirtAddr addr = client.ralloc(4 * MiB).value_or(0);
 
     std::uint64_t a = 0xAAAA, b = 0xBBBB;
     ASSERT_EQ(client.rwrite(addr, &a, sizeof(a)), Status::kOk);
@@ -442,7 +442,7 @@ TEST(Integration, LatencyMatchesPaperBallpark)
     // §7.1: 16 B reads ~2.5 us median end to end on the prototype.
     Cluster cluster(baseConfig(), 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(4 * MiB);
+    const VirtAddr addr = client.ralloc(4 * MiB).value_or(0);
     std::uint64_t v = 1;
     client.rwrite(addr, &v, sizeof(v)); // warm (fault + TLB)
 
@@ -469,7 +469,7 @@ TEST(Integration, MultiMnDistinctSpaces)
     // even when placed on different MNs.
     std::vector<VirtAddr> addrs;
     for (int i = 0; i < 6; i++) {
-        const VirtAddr a = client.ralloc(4 * MiB);
+        const VirtAddr a = client.ralloc(4 * MiB).value_or(0);
         ASSERT_NE(a, 0u);
         for (VirtAddr prev : addrs)
             EXPECT_NE(a, prev);
@@ -494,7 +494,7 @@ TEST(Integration, MigrationPreservesData)
     ClioClient &client = cluster.createClient(0);
 
     // Fill a region on some MN.
-    const VirtAddr addr = client.ralloc(16 * MiB);
+    const VirtAddr addr = client.ralloc(16 * MiB).value_or(0);
     ASSERT_NE(addr, 0u);
     const std::uint32_t src_mn = cluster.mnIndexOf(client.mnFor(addr));
     std::vector<std::uint64_t> vals(4);
@@ -534,7 +534,7 @@ TEST(Integration, PressureBalancing)
     // Write until one MN is under pressure.
     std::vector<VirtAddr> addrs;
     for (int i = 0; i < 6; i++) {
-        const VirtAddr a = client.ralloc(8 * MiB);
+        const VirtAddr a = client.ralloc(8 * MiB).value_or(0);
         ASSERT_NE(a, 0u);
         std::uint64_t v = 777 + i;
         ASSERT_EQ(client.rwrite(a, &v, sizeof(v)), Status::kOk);
@@ -592,16 +592,14 @@ TEST(Integration, OffloadInvocation)
     std::vector<std::uint8_t> arg(8);
     const std::uint64_t v = 41;
     std::memcpy(arg.data(), &v, 8);
-    std::vector<std::uint8_t> result;
-    std::uint64_t value = 0;
-    ASSERT_EQ(client.offloadCall(cluster.mn(0).nodeId(), 7, arg, &result,
-                                 &value),
-              Status::kOk);
-    EXPECT_EQ(value, 42u);
-    ASSERT_EQ(result.size(), 8u);
+    const Result<OffloadReply> reply =
+        client.rcall(cluster.mn(0).nodeId(), 7, arg);
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    EXPECT_EQ(reply->value, 42u);
+    ASSERT_EQ(reply->data.size(), 8u);
     EXPECT_EQ(cluster.mn(0).stats().offload_calls, 1u);
     // Unknown offload id is rejected.
-    EXPECT_EQ(client.offloadCall(cluster.mn(0).nodeId(), 99, arg),
+    EXPECT_EQ(client.rcall(cluster.mn(0).nodeId(), 99, arg).status(),
               Status::kOffloadError);
 }
 
@@ -611,7 +609,7 @@ TEST(Integration, ThroughputReachesLineRateWithAsync)
     // approach the 10 Gbps port limit.
     Cluster cluster(baseConfig(), 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(64 * MiB);
+    const VirtAddr addr = client.ralloc(64 * MiB).value_or(0);
     std::vector<std::uint8_t> chunk(1024, 0x5A);
     for (int p = 0; p < 16; p++)
         client.rwrite(addr + p * 4 * MiB, chunk.data(), chunk.size());

@@ -166,7 +166,7 @@ TEST(CNode, CwndGrowsOnGoodRtt)
     ClioClient &client = cluster.createClient(0);
     const NodeId mn = cluster.mn(0).nodeId();
     const double before = cluster.cn(0).cwnd(mn);
-    const VirtAddr addr = client.ralloc(4 * MiB);
+    const VirtAddr addr = client.ralloc(4 * MiB).value_or(0);
     std::uint64_t v = 0;
     for (int i = 0; i < 50; i++)
         client.rread(addr, &v, 8);
@@ -177,7 +177,7 @@ TEST(CNode, RttHistogramPopulated)
 {
     Cluster cluster(ModelConfig::prototype(), 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(4 * MiB);
+    const VirtAddr addr = client.ralloc(4 * MiB).value_or(0);
     std::uint64_t v = 1;
     for (int i = 0; i < 20; i++)
         client.rwrite(addr, &v, 8);

@@ -101,7 +101,7 @@ TEST_P(PageSizeSweep, EndToEndRoundTripAndFaultCount)
     ClioClient &client = cluster.createClient(0);
 
     const std::uint64_t span = 4 * GetParam();
-    const VirtAddr addr = client.ralloc(span);
+    const VirtAddr addr = client.ralloc(span).value_or(0);
     ASSERT_NE(addr, 0u);
 
     // Write a pattern straddling the first page boundary.
@@ -137,7 +137,7 @@ TEST_P(MtuSweep, MultiPacketIntegrity)
     cfg.net.mtu = GetParam();
     Cluster cluster(cfg, 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(8 * MiB);
+    const VirtAddr addr = client.ralloc(8 * MiB).value_or(0);
 
     std::vector<std::uint8_t> data(20 * KiB);
     Rng rng(GetParam());
@@ -174,7 +174,7 @@ TEST_P(FaultSweep, DataIntegrityAndProgress)
     cfg.clib.max_retries = 12;
     Cluster cluster(cfg, 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(16 * MiB);
+    const VirtAddr addr = client.ralloc(16 * MiB).value_or(0);
     ASSERT_NE(addr, 0u);
 
     Rng rng(99);
@@ -232,12 +232,12 @@ TEST_P(RetrySweep, CountersNeverDoubleApply)
     cfg.clib.max_retries = 20;
     Cluster cluster(cfg, 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr counter = client.ralloc(4 * MiB);
+    const VirtAddr counter = client.ralloc(4 * MiB).value_or(0);
     ASSERT_NE(counter, 0u);
 
     const int increments = 120;
     for (int i = 0; i < increments; i++)
-        ASSERT_TRUE(client.rfaa(counter, 1).has_value());
+        ASSERT_TRUE(client.rfaa(counter, 1).ok());
 
     std::uint64_t final_value = 0;
     ASSERT_EQ(client.rread(counter, &final_value, 8), Status::kOk);

@@ -42,7 +42,7 @@ TEST(Report, CountersShowUp)
 {
     Cluster cluster(ModelConfig::prototype(), 1, 1);
     ClioClient &client = cluster.createClient(0);
-    const VirtAddr addr = client.ralloc(4 * MiB);
+    const VirtAddr addr = client.ralloc(4 * MiB).value_or(0);
     std::uint64_t v = 1;
     client.rwrite(addr, &v, 8);
     client.rread(addr, &v, 8);
