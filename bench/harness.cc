@@ -17,8 +17,13 @@ iters(std::uint64_t full)
 {
     if (!smokeMode())
         return full;
+    // Divide by 8 but never below 8 (or below `full` itself when the
+    // caller asked for fewer): a plain max(full/8, 1) collapses every
+    // count under 8 to a single iteration, making distinct smoke
+    // workloads indistinguishable.
+    const std::uint64_t floor = full < 8 ? full : 8;
     const std::uint64_t reduced = full / 8;
-    return reduced > 0 ? reduced : 1;
+    return reduced > floor ? reduced : floor;
 }
 
 void

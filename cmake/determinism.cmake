@@ -1,7 +1,12 @@
-# Run the determinism gtest suite twice in fresh processes with the
-# same CLIO_SEED, each dumping its recorded run statistics (final data
+# Run the determinism gtest suite in fresh processes with the same
+# CLIO_SEED, each dumping its recorded run statistics (final data
 # digest, retry/NACK/fault counters, end time, per-op latencies) to a
-# file via CLIO_STATS_OUT; fail unless the two dumps are identical.
+# file via CLIO_STATS_OUT; fail unless every dump is identical.
+#
+# Three runs: two on the default timing-wheel event queue (same-engine
+# reproducibility), one with CLIO_EVENT_QUEUE=heap (the reference
+# binary-heap engine must replay the byte-identical history — this is
+# what makes the wheel rewrite provably behavior-preserving).
 #
 # Usage: cmake -DTEST_BINARY=... -DWORK_DIR=... -P determinism.cmake
 
@@ -11,20 +16,26 @@ endif()
 
 set(seed 20220228) # ASPLOS'22 session day; any fixed value works.
 
-foreach(run 1 2)
+foreach(run 1 2 3)
   set(stats_file "${WORK_DIR}/determinism_run${run}.stats")
   file(REMOVE "${stats_file}")
+  if(run EQUAL 3)
+    set(engine heap)
+  else()
+    set(engine wheel)
+  endif()
   execute_process(
     COMMAND ${CMAKE_COMMAND} -E env
       CLIO_SEED=${seed}
       CLIO_STATS_OUT=${stats_file}
+      CLIO_EVENT_QUEUE=${engine}
       ${TEST_BINARY} --gtest_brief=1
     RESULT_VARIABLE rc
     OUTPUT_VARIABLE out
     ERROR_VARIABLE err)
   if(NOT rc EQUAL 0)
     message(FATAL_ERROR
-      "determinism run ${run} exited with ${rc}\n${out}\n${err}")
+      "determinism run ${run} (${engine}) exited with ${rc}\n${out}\n${err}")
   endif()
   if(NOT EXISTS "${stats_file}")
     message(FATAL_ERROR
@@ -32,16 +43,20 @@ foreach(run 1 2)
   endif()
 endforeach()
 
-execute_process(
-  COMMAND ${CMAKE_COMMAND} -E compare_files
-    "${WORK_DIR}/determinism_run1.stats"
-    "${WORK_DIR}/determinism_run2.stats"
-  RESULT_VARIABLE diff_rc)
-if(NOT diff_rc EQUAL 0)
-  file(READ "${WORK_DIR}/determinism_run1.stats" run1)
-  file(READ "${WORK_DIR}/determinism_run2.stats" run2)
-  message(FATAL_ERROR
-    "determinism violated: two runs with CLIO_SEED=${seed} recorded "
-    "different stats.\n--- run 1 ---\n${run1}\n--- run 2 ---\n${run2}")
-endif()
-message(STATUS "determinism OK: both runs recorded identical stats")
+foreach(run 2 3)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+      "${WORK_DIR}/determinism_run1.stats"
+      "${WORK_DIR}/determinism_run${run}.stats"
+    RESULT_VARIABLE diff_rc)
+  if(NOT diff_rc EQUAL 0)
+    file(READ "${WORK_DIR}/determinism_run1.stats" run1)
+    file(READ "${WORK_DIR}/determinism_run${run}.stats" runN)
+    message(FATAL_ERROR
+      "determinism violated: runs 1 and ${run} with CLIO_SEED=${seed} "
+      "recorded different stats.\n--- run 1 ---\n${run1}\n"
+      "--- run ${run} ---\n${runN}")
+  endif()
+endforeach()
+message(STATUS
+  "determinism OK: wheel x2 and heap runs recorded identical stats")

@@ -67,7 +67,7 @@ CBoard::onPacket(Packet pkt)
     if (pkt.corrupted) {
         // Slim link layer: checksum fails, NACK immediately (§4.4).
         stats_.nacks_sent++;
-        auto resp = std::make_shared<ResponseMsg>();
+        auto resp = resp_pool_.acquire();
         resp->req_id = pkt.req_id;
         resp->status = Status::kCorrupt;
         const Tick when = eq_.now() + cfg_.fast_path.mac_latency +
@@ -102,7 +102,7 @@ CBoard::onPacket(Packet pkt)
         fastPathPacket(pkt, inflight);
         if (inflight.parts_seen == inflight.total_parts) {
             const auto &req = *inflight.req;
-            auto resp = std::make_shared<ResponseMsg>();
+            auto resp = resp_pool_.acquire();
             resp->req_id = req.req_id;
             resp->status = inflight.status;
             if (inflight.status == Status::kOk) {
@@ -570,7 +570,7 @@ CBoard::slowPathPacket(const Packet &pkt)
              cfg_.slow_path.interconnect_crossing;
     t = std::max(t, std::max(arm_free_, gate_open_));
 
-    auto resp = std::make_shared<ResponseMsg>();
+    auto resp = resp_pool_.acquire();
     resp->req_id = req->req_id;
     Tick cost = 0;
     if (req->type == MsgType::kAlloc) {
@@ -639,7 +639,7 @@ CBoard::extendPathPacket(const Packet &pkt)
         return;
 
     const auto &req = *inflight.req;
-    auto resp = std::make_shared<ResponseMsg>();
+    auto resp = resp_pool_.acquire();
     resp->req_id = req.req_id;
     Tick done = std::max(inflight.done, gate_open_);
 

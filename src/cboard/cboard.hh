@@ -277,6 +277,10 @@ class CBoard
     std::unordered_map<ReqId, Inflight> inflight_;
     std::uint64_t packets_since_gc_ = 0;
 
+    /** Recycling ring for response messages (one per completed
+     * request; alive ~one RTT until the CN's completion fires). */
+    MessagePool<ResponseMsg> resp_pool_;
+
     struct OffloadEntry
     {
         std::shared_ptr<Offload> offload;

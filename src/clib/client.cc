@@ -206,7 +206,7 @@ ClioClient::rallocAsync(std::uint64_t size, std::uint8_t perm,
                           ? mn_override
                           : (alloc_picker_ ? alloc_picker_(size)
                                            : home_mn_);
-    auto req = std::make_shared<RequestMsg>();
+    auto req = req_pool_.acquire();
     req->type = MsgType::kAlloc;
     req->pid = pid_;
     req->dst = mn;
@@ -215,7 +215,7 @@ ClioClient::rallocAsync(std::uint64_t size, std::uint8_t perm,
     req->populate = populate;
     Op op;
     op.fp = Footprint{0, 0, false, false}; // fresh VAs: no conflicts
-    op.handle = std::make_shared<RequestHandle>();
+    op.handle = handle_pool_.acquire();
     op.req = std::move(req);
     op.expected_resp_bytes = 0;
     return submit(std::move(op));
@@ -225,7 +225,7 @@ HandlePtr
 ClioClient::rfreeAsync(VirtAddr addr)
 {
     stats_.frees++;
-    auto req = std::make_shared<RequestMsg>();
+    auto req = req_pool_.acquire();
     req->type = MsgType::kFree;
     req->pid = pid_;
     req->dst = mnFor(addr);
@@ -239,7 +239,7 @@ ClioClient::rfreeAsync(VirtAddr addr)
     // read/write may start until the rfree finishes).
     op.fp = Footprint{addr / kTrackPage, (addr + size - 1) / kTrackPage,
                       true, false};
-    op.handle = std::make_shared<RequestHandle>();
+    op.handle = handle_pool_.acquire();
     op.req = std::move(req);
     return submit(std::move(op));
 }
@@ -248,7 +248,7 @@ HandlePtr
 ClioClient::rreadAsync(VirtAddr addr, void *buf, std::uint64_t len)
 {
     stats_.reads++;
-    auto req = std::make_shared<RequestMsg>();
+    auto req = req_pool_.acquire();
     req->type = MsgType::kRead;
     req->pid = pid_;
     req->dst = mnFor(addr);
@@ -257,7 +257,7 @@ ClioClient::rreadAsync(VirtAddr addr, void *buf, std::uint64_t len)
     Op op;
     op.fp = Footprint{addr / kTrackPage, (addr + len - 1) / kTrackPage,
                       false, false};
-    op.handle = std::make_shared<RequestHandle>();
+    op.handle = handle_pool_.acquire();
     op.req = std::move(req);
     op.expected_resp_bytes = len;
     op.read_buf = buf;
@@ -278,7 +278,7 @@ ClioClient::rwriteAsync(VirtAddr addr, std::vector<std::uint8_t> data)
 {
     stats_.writes++;
     const std::uint64_t len = data.size();
-    auto req = std::make_shared<RequestMsg>();
+    auto req = req_pool_.acquire();
     req->type = MsgType::kWrite;
     req->pid = pid_;
     req->dst = mnFor(addr);
@@ -288,7 +288,7 @@ ClioClient::rwriteAsync(VirtAddr addr, std::vector<std::uint8_t> data)
     Op op;
     op.fp = Footprint{addr / kTrackPage, (addr + len - 1) / kTrackPage,
                       true, false};
-    op.handle = std::make_shared<RequestHandle>();
+    op.handle = handle_pool_.acquire();
     op.req = std::move(req);
     return submit(std::move(op));
 }
@@ -298,7 +298,7 @@ ClioClient::atomicAsync(VirtAddr addr, AtomicOp aop, std::uint64_t arg0,
                         std::uint64_t arg1)
 {
     stats_.atomics++;
-    auto req = std::make_shared<RequestMsg>();
+    auto req = req_pool_.acquire();
     req->type = MsgType::kAtomic;
     req->pid = pid_;
     req->dst = mnFor(addr);
@@ -309,7 +309,7 @@ ClioClient::atomicAsync(VirtAddr addr, AtomicOp aop, std::uint64_t arg0,
     req->arg1 = arg1;
     Op op;
     op.fp = Footprint{addr / kTrackPage, addr / kTrackPage, true, false};
-    op.handle = std::make_shared<RequestHandle>();
+    op.handle = handle_pool_.acquire();
     op.req = std::move(req);
     return submit(std::move(op));
 }
@@ -318,13 +318,13 @@ HandlePtr
 ClioClient::fenceAsync()
 {
     stats_.fences++;
-    auto req = std::make_shared<RequestMsg>();
+    auto req = req_pool_.acquire();
     req->type = MsgType::kFence;
     req->pid = pid_;
     req->dst = home_mn_;
     Op op;
     op.fp = Footprint{0, ~0ull, true, true}; // full barrier
-    op.handle = std::make_shared<RequestHandle>();
+    op.handle = handle_pool_.acquire();
     op.req = std::move(req);
     return submit(std::move(op));
 }
@@ -335,7 +335,7 @@ ClioClient::offloadAsync(NodeId mn, std::uint32_t offload_id,
                          std::uint64_t expected_resp_bytes)
 {
     stats_.offloads++;
-    auto req = std::make_shared<RequestMsg>();
+    auto req = req_pool_.acquire();
     req->type = MsgType::kOffload;
     req->pid = pid_;
     req->dst = mn;
@@ -345,7 +345,7 @@ ClioClient::offloadAsync(NodeId mn, std::uint32_t offload_id,
     // Offloads act on the offload's own RAS; apps order them with
     // rpoll when needed.
     op.fp = Footprint{0, 0, false, false};
-    op.handle = std::make_shared<RequestHandle>();
+    op.handle = handle_pool_.acquire();
     op.req = std::move(req);
     op.expected_resp_bytes = expected_resp_bytes;
     return submit(std::move(op));

@@ -73,6 +73,21 @@ struct RequestHandle
   private:
     friend class ClioClient;
     friend class CompletionQueue;
+    template <typename, std::size_t> friend class MessagePool;
+    /** Restore default-constructed state (MessagePool reuse; the pool
+     * only recycles a handle once the app dropped every reference). */
+    void
+    reset()
+    {
+        done = false;
+        status = Status::kOk;
+        value = 0;
+        data.clear();
+        cq_ = nullptr;
+        tag_ = 0;
+        delivered_ = false;
+        completed_at_ = 0;
+    }
     /** Queue this handle's completion is delivered to (at most one;
      * bound via CompletionQueue::watch or SubmissionBatch::submit). */
     CompletionQueue *cq_ = nullptr;
@@ -282,6 +297,12 @@ class ClioClient
     std::uint64_t next_op_seq_ = 1;
     std::map<std::uint64_t, Op> inflight_; ///< issued, not yet complete
     std::deque<Op> pending_;               ///< queued on conflicts
+
+    /** Recycling rings for the per-op allocations (request message +
+     * handle); both live ~one RTT, so a 64-deep ring almost always
+     * recycles instead of hitting the allocator. */
+    MessagePool<RequestMsg> req_pool_;
+    MessagePool<RequestHandle> handle_pool_;
 
     ClientStats stats_;
 };

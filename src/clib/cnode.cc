@@ -17,19 +17,22 @@ CNode::CNode(EventQueue &eq, Network &network, const ModelConfig &cfg)
 CNode::PerMn &
 CNode::mnState(NodeId mn)
 {
-    auto it = per_mn_.find(mn);
-    if (it == per_mn_.end()) {
-        it = per_mn_.emplace(mn, PerMn{cfg_.clib.cwnd_init, 0, {}, 0, 0})
-                 .first;
+    for (auto &[id, st] : per_mn_) {
+        if (id == mn)
+            return st;
     }
-    return it->second;
+    per_mn_.emplace_back(mn, PerMn{cfg_.clib.cwnd_init, 0, {}, 0, 0});
+    return per_mn_.back().second;
 }
 
 double
 CNode::cwnd(NodeId mn) const
 {
-    auto it = per_mn_.find(mn);
-    return it == per_mn_.end() ? cfg_.clib.cwnd_init : it->second.cwnd;
+    for (const auto &[id, st] : per_mn_) {
+        if (id == mn)
+            return st.cwnd;
+    }
+    return cfg_.clib.cwnd_init;
 }
 
 void

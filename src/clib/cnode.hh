@@ -129,7 +129,10 @@ class CNode
 
     /** Outstanding requests keyed by CURRENT attempt id. */
     std::unordered_map<ReqId, Outstanding> outstanding_;
-    std::unordered_map<NodeId, PerMn> per_mn_;
+    /** Per-MN congestion state. A handful of MNs exist per cluster, so
+     * a linear scan beats hashing; deque keeps references stable across
+     * the insert-only growth (callers hold PerMn& across calls). */
+    std::deque<std::pair<NodeId, PerMn>> per_mn_;
     std::uint64_t next_req_seq_ = 1;
     std::uint64_t iwnd_used_ = 0;
 

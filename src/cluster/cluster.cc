@@ -8,7 +8,8 @@ namespace clio {
 
 Cluster::Cluster(const ModelConfig &cfg, std::uint32_t num_cns,
                  std::uint32_t num_mns, std::uint64_t mn_phys_bytes)
-    : cfg_(cfg), net_(eq_, cfg.net, cfg.seed * 7919 + 1)
+    : cfg_(cfg), eq_(cfg.event_queue_impl),
+      net_(eq_, cfg.net, cfg.seed * 7919 + 1)
 {
     clio_assert(num_cns > 0 && num_mns > 0, "cluster needs CNs and MNs");
     for (std::uint32_t i = 0; i < num_mns; i++) {

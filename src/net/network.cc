@@ -19,6 +19,7 @@ Network::addNode(RxHandler rx, std::uint64_t link_bandwidth_bps)
     port.rx = std::move(rx);
     port.bandwidth_bps = link_bandwidth_bps ? link_bandwidth_bps
                                             : cfg_.link_bandwidth_bps;
+    port.ticks_per_byte = ticksPerByte(port.bandwidth_bps);
     ports_.push_back(std::move(port));
     return id;
 }
@@ -37,7 +38,7 @@ Network::send(Packet pkt)
     // --- Source NIC egress: serialize onto the host link. ---
     const Tick now = eq_.now();
     const Tick ser =
-        static_cast<Tick>(pkt.wire_bytes) * ticksPerByte(src.bandwidth_bps);
+        static_cast<Tick>(pkt.wire_bytes) * src.ticks_per_byte;
     const Tick tx_start = std::max(now, src.tx_free);
     const Tick tx_done = tx_start + ser;
     src.tx_free = tx_done;
@@ -55,7 +56,7 @@ Network::send(Packet pkt)
     // --- Switch output port toward the destination. ---
     const Tick at_switch = tx_done + cfg_.link_propagation;
     const Tick out_ser =
-        static_cast<Tick>(pkt.wire_bytes) * ticksPerByte(dst.bandwidth_bps);
+        static_cast<Tick>(pkt.wire_bytes) * dst.ticks_per_byte;
     const Tick out_start = std::max(at_switch, dst.switch_out_free);
 
     // Queue occupancy check (incast drops unless lossless).

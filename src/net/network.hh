@@ -73,6 +73,9 @@ class Network
     {
         RxHandler rx;
         std::uint64_t bandwidth_bps;
+        /** ticksPerByte(bandwidth_bps), precomputed: serialization is
+         * two multiplies per packet instead of two 64-bit divisions. */
+        Tick ticks_per_byte;
         /** When the node's egress link becomes idle. */
         Tick tx_free = 0;
         /** When the switch's output link toward this node is idle. */

@@ -29,12 +29,12 @@ enum Perm : std::uint8_t {
  */
 struct Pte
 {
-    /** Owning process (global PID); part of the hash key. */
-    ProcId pid = 0;
     /** Virtual page number within the process' RAS; part of the key. */
     std::uint64_t vpn = 0;
     /** Base physical address of the bound frame (valid iff present). */
     PhysAddr frame = 0;
+    /** Owning process (global PID); part of the hash key. */
+    ProcId pid = 0;
     /** Permission bits for this page. */
     std::uint8_t perm = kPermNone;
     /** Slot holds a live entry (allocated VA). */
@@ -48,6 +48,12 @@ struct Pte
         return valid && pid == p && vpn == v;
     }
 };
+
+/** The 8-byte fields lead so no alignment padding is wasted: a packed
+ * PTE is 24 bytes, so a 4-slot hash bucket (the probe unit of the
+ * overflow-free table) spans 1.5 cache lines instead of 2 and a TLB
+ * set packs 33% more entries per line. */
+static_assert(sizeof(Pte) == 24, "Pte must stay packed to 24 bytes");
 
 } // namespace clio
 

@@ -12,8 +12,10 @@
 #ifndef CLIO_PROTO_MESSAGES_HH
 #define CLIO_PROTO_MESSAGES_HH
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <vector>
 
 #include "net/packet.hh"
@@ -112,6 +114,30 @@ struct RequestMsg : Message
      * config default for the request class). Long-running offloads
      * (e.g. full-table scans) set this. */
     Tick timeout_override = 0;
+
+    /** Restore default-constructed field values, keeping the payload
+     * vectors' capacity (MessagePool reuse). */
+    void
+    reset()
+    {
+        type = MsgType::kRead;
+        pid = 0;
+        req_id = 0;
+        orig_req_id = 0;
+        src = 0;
+        dst = 0;
+        addr = 0;
+        size = 0;
+        data.clear();
+        aop = AtomicOp::kTestAndSet;
+        arg0 = 0;
+        arg1 = 0;
+        perm = 0;
+        populate = false;
+        offload_id = 0;
+        offload_arg.clear();
+        timeout_override = 0;
+    }
 };
 
 /** One Clio response (MN -> CN); echoes the request id. */
@@ -123,6 +149,55 @@ struct ResponseMsg : Message
     std::vector<std::uint8_t> data;
     /** Scalar result: allocated VA, atomic's old value, etc. */
     std::uint64_t value = 0;
+
+    /** Restore default-constructed field values, keeping the payload
+     * vector's capacity (MessagePool reuse). */
+    void
+    reset()
+    {
+        req_id = 0;
+        status = Status::kOk;
+        data.clear();
+        value = 0;
+    }
+};
+
+/**
+ * Fixed-size recycling ring for shared_ptr-managed messages.
+ *
+ * The simulator allocates one RequestMsg/ResponseMsg (plus its payload
+ * vector) per operation; at millions of simulated ops that malloc/free
+ * churn dominates the hot path. The pool keeps a power-of-two ring of
+ * shared_ptr slots: acquire() inspects the next slot, and if the pool
+ * holds the LAST reference (use_count() == 1 — no packet, transport
+ * table, or completion closure still points at the message) the object
+ * is reset() — payload capacity retained — and handed out again.
+ * Otherwise a fresh message is allocated into the slot. The use_count
+ * check makes reuse safe by construction, and a pool deeper than the
+ * peak number of simultaneously live messages recycles ~always.
+ */
+template <typename M, std::size_t N = 64>
+class MessagePool
+{
+    static_assert((N & (N - 1)) == 0, "pool size must be a power of two");
+
+  public:
+    std::shared_ptr<M>
+    acquire()
+    {
+        std::shared_ptr<M> &slot = slots_[cursor_];
+        cursor_ = (cursor_ + 1) & (N - 1);
+        if (slot && slot.use_count() == 1) {
+            slot->reset();
+            return slot;
+        }
+        slot = std::make_shared<M>();
+        return slot;
+    }
+
+  private:
+    std::array<std::shared_ptr<M>, N> slots_{};
+    std::size_t cursor_ = 0;
 };
 
 /** Wire size of a request (headers + inline payload). */

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "sim/event_queue.hh"
 #include "sim/types.hh"
 
 namespace clio {
@@ -274,6 +275,12 @@ struct ModelConfig
 
     /** Master RNG seed; derived streams add fixed offsets. */
     std::uint64_t seed = 42;
+
+    /** Event-queue engine driving the cluster (kDefault resolves to
+     * the timing wheel unless CLIO_EVENT_QUEUE=heap is set). Both
+     * engines order events identically; kBinaryHeap exists for
+     * differential testing and as the self-perf baseline. */
+    EventQueueImpl event_queue_impl = EventQueueImpl::kDefault;
 
     /** The FPGA prototype configuration evaluated in the paper. */
     static ModelConfig prototype();

@@ -119,6 +119,11 @@ ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta,
     : rng_(seed), n_(n), theta_(theta)
 {
     clio_assert(n >= 1, "zipf domain must be nonempty");
+    // theta == 1.0 makes alpha_ = 1/(1-theta) infinite (and the eta_
+    // expression 0/0 = NaN); the generator would silently emit
+    // garbage indices instead of failing.
+    clio_assert(theta >= 0.0 && theta < 1.0,
+                "zipf skew theta must be in [0, 1), got %f", theta);
     zetan_ = zeta(n, theta);
     const double zeta2 = zeta(2, theta);
     alpha_ = 1.0 / (1.0 - theta);

@@ -10,7 +10,8 @@ namespace clio {
 
 LatencyHistogram::LatencyHistogram()
     : buckets_(static_cast<std::size_t>(kBands) * kSubBuckets, 0),
-      count_(0), min_(kTickMax), max_(0), sum_(0.0)
+      count_(0), min_(kTickMax), max_(0), sum_(0.0),
+      lo_(kBands * kSubBuckets), hi_(-1)
 {
 }
 
@@ -49,22 +50,33 @@ LatencyHistogram::bucketUpperEdge(int index)
 void
 LatencyHistogram::record(Tick value)
 {
-    buckets_[static_cast<std::size_t>(bucketIndex(value))]++;
+    const int index = bucketIndex(value);
+    buckets_[static_cast<std::size_t>(index)]++;
     count_++;
     min_ = std::min(min_, value);
     max_ = std::max(max_, value);
     sum_ += static_cast<double>(value);
+    lo_ = std::min(lo_, index);
+    hi_ = std::max(hi_, index);
 }
 
 void
 LatencyHistogram::merge(const LatencyHistogram &other)
 {
-    for (std::size_t i = 0; i < buckets_.size(); i++)
-        buckets_[i] += other.buckets_[i];
+    if (other.count_ == 0) {
+        // Nothing to add; in particular other.min_ (kTickMax sentinel)
+        // and other.max_ (0) must not touch our extremes.
+        return;
+    }
+    for (int i = other.lo_; i <= other.hi_; i++)
+        buckets_[static_cast<std::size_t>(i)] +=
+            other.buckets_[static_cast<std::size_t>(i)];
     count_ += other.count_;
     min_ = std::min(min_, other.min_);
     max_ = std::max(max_, other.max_);
     sum_ += other.sum_;
+    lo_ = std::min(lo_, other.lo_);
+    hi_ = std::max(hi_, other.hi_);
 }
 
 void
@@ -75,6 +87,8 @@ LatencyHistogram::reset()
     min_ = kTickMax;
     max_ = 0;
     sum_ = 0.0;
+    lo_ = kBands * kSubBuckets;
+    hi_ = -1;
 }
 
 double
@@ -89,14 +103,20 @@ LatencyHistogram::percentile(double p) const
     if (count_ == 0)
         return 0;
     clio_assert(p >= 0.0 && p <= 100.0, "percentile out of range: %f", p);
+    if (p == 0.0) {
+        // The 0th percentile is the smallest sample, exactly; the
+        // bucket edge would overstate it (single-sample histograms
+        // included).
+        return min_;
+    }
     const auto rank = static_cast<std::uint64_t>(
         std::ceil(p / 100.0 * static_cast<double>(count_)));
     const std::uint64_t target = rank == 0 ? 1 : rank;
     std::uint64_t seen = 0;
-    for (std::size_t i = 0; i < buckets_.size(); i++) {
-        seen += buckets_[i];
+    for (int i = lo_; i <= hi_; i++) {
+        seen += buckets_[static_cast<std::size_t>(i)];
         if (seen >= target) {
-            const Tick edge = bucketUpperEdge(static_cast<int>(i));
+            const Tick edge = bucketUpperEdge(i);
             // Never report beyond the true max.
             return std::min(edge, max_);
         }
@@ -111,9 +131,25 @@ LatencyHistogram::cdf(int points) const
     if (count_ == 0)
         return out;
     out.reserve(static_cast<std::size_t>(points));
+    // Single pass: the per-point rank targets are nondecreasing, so
+    // one walk over the occupied buckets serves every point (the old
+    // implementation rescanned the whole bucket array per point).
+    int bucket = lo_;
+    std::uint64_t seen = buckets_[static_cast<std::size_t>(lo_)];
     for (int i = 1; i <= points; i++) {
         const double frac = static_cast<double>(i) / points;
-        out.emplace_back(percentile(frac * 100.0), frac);
+        const double p = frac * 100.0;
+        const auto rank = static_cast<std::uint64_t>(
+            std::ceil(p / 100.0 * static_cast<double>(count_)));
+        const std::uint64_t target = rank == 0 ? 1 : rank;
+        while (seen < target && bucket < hi_) {
+            bucket++;
+            seen += buckets_[static_cast<std::size_t>(bucket)];
+        }
+        const Tick edge =
+            seen >= target ? std::min(bucketUpperEdge(bucket), max_)
+                           : max_;
+        out.emplace_back(edge, frac);
     }
     return out;
 }

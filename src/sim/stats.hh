@@ -44,7 +44,13 @@ class LatencyHistogram
     Tick max() const { return max_; }
     double mean() const;
 
-    /** Value at percentile p in [0, 100]. */
+    /**
+     * Value at percentile p in [0, 100]. p = 0 reports the exact
+     * minimum; other percentiles report the upper edge of the bucket
+     * holding the requested rank, clamped to the exact maximum (so a
+     * query never understates a latency and never exceeds max()).
+     * An empty histogram reports 0 for every p.
+     */
     Tick percentile(double p) const;
 
     Tick median() const { return percentile(50.0); }
@@ -69,6 +75,12 @@ class LatencyHistogram
     Tick min_;
     Tick max_;
     double sum_;
+    /** Occupied-bucket bounds [lo_, hi_]: percentile and cdf queries
+     * scan only this range instead of all kBands * kSubBuckets
+     * buckets (the occupied range of a real latency distribution is
+     * a handful of cache lines). Empty histogram: lo_ > hi_. */
+    int lo_;
+    int hi_;
 };
 
 /** Accumulates bytes moved over simulated time and reports Gbps. */

@@ -23,6 +23,20 @@ makeTable(std::uint64_t phys = 2 * GiB)
     return HashPageTable(phys, 4 * MiB, 8, 2.0);
 }
 
+Pte
+makePte(ProcId pid, std::uint64_t vpn, PhysAddr frame, std::uint8_t perm,
+        bool valid, bool present)
+{
+    Pte pte;
+    pte.pid = pid;
+    pte.vpn = vpn;
+    pte.frame = frame;
+    pte.perm = perm;
+    pte.valid = valid;
+    pte.present = present;
+    return pte;
+}
+
 TEST(JenkinsHash, DeterministicAndSpread)
 {
     EXPECT_EQ(jenkinsHash(1, 2), jenkinsHash(1, 2));
@@ -153,7 +167,7 @@ TEST(HashPageTable, PropertyNoOverflowWhenGuardedByCanInsert)
 TEST(Tlb, HitAfterInsert)
 {
     Tlb tlb(4);
-    Pte pte{1, 10, 4 * MiB, kPermRead, true, true};
+    Pte pte = makePte(1, 10, 4 * MiB, kPermRead, true, true);
     tlb.insert(pte);
     const Pte *hit = tlb.lookup(1, 10);
     ASSERT_NE(hit, nullptr);
@@ -172,11 +186,11 @@ TEST(Tlb, MissCounted)
 TEST(Tlb, LruEviction)
 {
     Tlb tlb(2);
-    tlb.insert(Pte{1, 1, 0, kPermRead, true, true});
-    tlb.insert(Pte{1, 2, 0, kPermRead, true, true});
+    tlb.insert(makePte(1, 1, 0, kPermRead, true, true));
+    tlb.insert(makePte(1, 2, 0, kPermRead, true, true));
     // Touch vpn 1 so vpn 2 becomes LRU.
     EXPECT_NE(tlb.lookup(1, 1), nullptr);
-    tlb.insert(Pte{1, 3, 0, kPermRead, true, true});
+    tlb.insert(makePte(1, 3, 0, kPermRead, true, true));
     EXPECT_NE(tlb.lookup(1, 1), nullptr);
     EXPECT_EQ(tlb.lookup(1, 2), nullptr); // evicted
     EXPECT_NE(tlb.lookup(1, 3), nullptr);
@@ -185,15 +199,15 @@ TEST(Tlb, LruEviction)
 TEST(Tlb, UpdateInPlace)
 {
     Tlb tlb(4);
-    tlb.insert(Pte{1, 1, 0, kPermRead, true, false});
-    Pte updated{1, 1, 12 * MiB, kPermRead, true, true};
+    tlb.insert(makePte(1, 1, 0, kPermRead, true, false));
+    Pte updated = makePte(1, 1, 12 * MiB, kPermRead, true, true);
     tlb.update(updated);
     const Pte *pte = tlb.lookup(1, 1);
     ASSERT_NE(pte, nullptr);
     EXPECT_TRUE(pte->present);
     EXPECT_EQ(pte->frame, 12 * MiB);
     // update() of an uncached entry is a no-op, not an insert.
-    tlb.update(Pte{2, 9, 0, kPermRead, true, true});
+    tlb.update(makePte(2, 9, 0, kPermRead, true, true));
     std::uint64_t misses_before = tlb.misses();
     EXPECT_EQ(tlb.lookup(2, 9), nullptr);
     EXPECT_EQ(tlb.misses(), misses_before + 1);
@@ -203,8 +217,8 @@ TEST(Tlb, InvalidateSingleAndProcess)
 {
     Tlb tlb(8);
     for (std::uint64_t v = 0; v < 3; v++) {
-        tlb.insert(Pte{1, v, 0, kPermRead, true, true});
-        tlb.insert(Pte{2, v, 0, kPermRead, true, true});
+        tlb.insert(makePte(1, v, 0, kPermRead, true, true));
+        tlb.insert(makePte(2, v, 0, kPermRead, true, true));
     }
     tlb.invalidate(1, 0);
     EXPECT_EQ(tlb.lookup(1, 0), nullptr);
@@ -219,10 +233,10 @@ TEST(Tlb, InvalidateSingleAndProcess)
 TEST(Tlb, ReinsertRefreshesLru)
 {
     Tlb tlb(2);
-    tlb.insert(Pte{1, 1, 0, kPermRead, true, true});
-    tlb.insert(Pte{1, 2, 0, kPermRead, true, true});
-    tlb.insert(Pte{1, 1, 4 * MiB, kPermRead, true, true}); // refresh
-    tlb.insert(Pte{1, 3, 0, kPermRead, true, true});
+    tlb.insert(makePte(1, 1, 0, kPermRead, true, true));
+    tlb.insert(makePte(1, 2, 0, kPermRead, true, true));
+    tlb.insert(makePte(1, 1, 4 * MiB, kPermRead, true, true)); // refresh
+    tlb.insert(makePte(1, 3, 0, kPermRead, true, true));
     EXPECT_NE(tlb.lookup(1, 1), nullptr); // survived, vpn2 evicted
     EXPECT_EQ(tlb.lookup(1, 2), nullptr);
 }

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <tuple>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "cluster/cluster.hh"
 #include "pagetable/hash_page_table.hh"
 #include "sim/rng.hh"
+#include "sim/stats.hh"
 #include "valloc/va_allocator.hh"
 
 namespace clio {
@@ -249,6 +252,55 @@ TEST_P(RetrySweep, CountersNeverDoubleApply)
 
 INSTANTIATE_TEST_SUITE_P(LossRates, RetrySweep,
                          ::testing::Values(0.0, 0.02, 0.08, 0.15));
+
+// ----------------------------------------------------------------
+// Histogram property sweep: the upper-edge reporting contract must
+// hold for random sample sets of any magnitude, not just the defaults
+// the unit tests pin down.
+// ----------------------------------------------------------------
+
+class HistogramSweep : public ::testing::TestWithParam<int /*magnitude*/>
+{
+};
+
+TEST_P(HistogramSweep, PercentileNeverUnderstatesAndNeverExceedsMax)
+{
+    // For any sample set and any p: percentile(p) >= the exact order
+    // statistic at rank ceil(p/100 * n) (never understates a latency)
+    // and <= the exact maximum (clamped); p = 0 is the exact minimum.
+    const int magnitude = GetParam();
+    Rng rng(991 + static_cast<std::uint64_t>(magnitude));
+    for (int round = 0; round < 20; round++) {
+        LatencyHistogram h;
+        std::vector<Tick> samples;
+        const auto n = 1 + rng.uniformInt(400);
+        for (std::uint64_t i = 0; i < n; i++) {
+            const Tick v = rng.uniformRange(1, Tick{1} << magnitude);
+            samples.push_back(v);
+            h.record(v);
+        }
+        std::sort(samples.begin(), samples.end());
+        ASSERT_EQ(h.count(), n);
+        ASSERT_EQ(h.percentile(0.0), samples.front());
+        ASSERT_EQ(h.percentile(100.0), samples.back());
+        for (int q = 0; q < 32; q++) {
+            const double p = rng.uniformDouble() * 100.0;
+            const Tick reported = h.percentile(p);
+            auto rank = static_cast<std::uint64_t>(
+                std::ceil(p / 100.0 * static_cast<double>(n)));
+            if (rank == 0)
+                rank = 1;
+            const Tick exact = samples[rank - 1];
+            ASSERT_GE(reported, exact)
+                << "p=" << p << " n=" << n << " magnitude=" << magnitude;
+            ASSERT_LE(reported, samples.back())
+                << "p=" << p << " n=" << n << " magnitude=" << magnitude;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, HistogramSweep,
+                         ::testing::Values(8, 20, 34, 50, 63));
 
 } // namespace
 } // namespace clio

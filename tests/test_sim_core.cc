@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -100,6 +101,180 @@ TEST(EventQueue, RunOneOnEmptyReturnsFalse)
     EventQueue eq;
     EXPECT_FALSE(eq.runOne());
     EXPECT_TRUE(eq.empty());
+}
+
+// ----------------------------------------------------------------
+// Pin tests: exact pop/FIFO/tie-break semantics the timing-wheel
+// rewrite must preserve event-for-event.
+// ----------------------------------------------------------------
+
+TEST(EventQueue, SameTickFifoUnder100kEvents)
+{
+    EventQueue eq;
+    const int n = 100000;
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; i++)
+        eq.schedule(42 * kMicrosecond, [&order, i] { order.push_back(i); });
+    eq.runAll();
+    ASSERT_EQ(order.size(), static_cast<std::size_t>(n));
+    for (int i = 0; i < n; i++)
+        ASSERT_EQ(order[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(eq.executed(), static_cast<std::uint64_t>(n));
+    EXPECT_EQ(eq.now(), 42 * kMicrosecond);
+}
+
+TEST(EventQueue, TieBreakIsInsertionOrderAcrossInterleavedTicks)
+{
+    // Interleave schedules across three ticks; within each tick the
+    // insertion order (not the schedule-call pattern) must win.
+    EventQueue eq;
+    std::vector<int> order;
+    int tag = 0;
+    std::vector<int> expect_by_tick[3];
+    for (int round = 0; round < 50; round++) {
+        for (Tick t : {Tick{30}, Tick{10}, Tick{20}}) {
+            const int id = tag++;
+            expect_by_tick[t / 10 - 1].push_back(id);
+            eq.schedule(t, [&order, id] { order.push_back(id); });
+        }
+    }
+    eq.runAll();
+    std::vector<int> expect;
+    for (const auto &v : expect_by_tick)
+        expect.insert(expect.end(), v.begin(), v.end());
+    EXPECT_EQ(order, expect);
+}
+
+TEST(EventQueue, MixedHorizonOrdering)
+{
+    // Events spread across wildly different magnitudes (all wheel
+    // levels for a 64-slot hierarchy) must still pop in time order.
+    EventQueue eq;
+    std::vector<Tick> fired;
+    std::vector<Tick> ticks;
+    for (int lvl = 0; lvl < 10; lvl++) {
+        const Tick base = Tick{1} << (6 * lvl);
+        ticks.push_back(base);
+        ticks.push_back(base + 1);
+        ticks.push_back(base * 3 + 7);
+    }
+    Rng rng(5);
+    for (std::size_t i = ticks.size(); i > 1; i--)
+        std::swap(ticks[i - 1], ticks[rng.uniformInt(i)]);
+    for (Tick t : ticks)
+        eq.schedule(t, [&fired, t] { fired.push_back(t); });
+    eq.runAll();
+    ASSERT_EQ(fired.size(), ticks.size());
+    std::sort(ticks.begin(), ticks.end());
+    EXPECT_EQ(fired, ticks);
+    EXPECT_EQ(eq.now(), ticks.back());
+}
+
+TEST(EventQueue, ScheduleAtNowDuringCallbackRunsSameDrain)
+{
+    // A callback scheduling at the *current* tick must run after all
+    // previously-queued same-tick events, within the same runAll.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(100, [&] {
+        order.push_back(0);
+        eq.schedule(100, [&] { order.push_back(2); });
+    });
+    eq.schedule(100, [&] { order.push_back(1); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, RunUntilTimeReentrancy)
+{
+    // Events that schedule new events at <= t must have those run
+    // within the same runUntilTime(t) call; events they schedule
+    // beyond t must stay pending, and now() must land exactly on t.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] {
+        order.push_back(1);
+        eq.schedule(50, [&] {
+            order.push_back(2);
+            eq.scheduleAfter(0, [&] { order.push_back(3); });
+            eq.schedule(200, [&] { order.push_back(9); });
+        });
+    });
+    eq.runUntilTime(150);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 150u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.runUntilTime(400);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 9}));
+    EXPECT_EQ(eq.now(), 400u);
+    // Scheduling exactly at the advanced wall-time is legal.
+    eq.schedule(400, [&] { order.push_back(4); });
+    eq.runAll();
+    EXPECT_EQ(order.back(), 4);
+}
+
+TEST(EventQueue, PendingAndExecutedCounters)
+{
+    EventQueue eq;
+    for (int i = 0; i < 32; i++)
+        eq.schedule(static_cast<Tick>(i * 1000), [] {});
+    EXPECT_EQ(eq.pending(), 32u);
+    EXPECT_EQ(eq.executed(), 0u);
+    for (int i = 0; i < 5; i++)
+        EXPECT_TRUE(eq.runOne());
+    EXPECT_EQ(eq.pending(), 27u);
+    EXPECT_EQ(eq.executed(), 5u);
+    eq.runAll();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.executed(), 32u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RandomizedOrderMatchesStableSort)
+{
+    // Differential pin: a random schedule/run interleaving must pop
+    // in exactly (when, insertion order), i.e. a stable sort by time.
+    EventQueue eq;
+    Rng rng(2022);
+    struct Rec
+    {
+        Tick when;
+        int id;
+    };
+    std::vector<Rec> scheduled;
+    std::vector<int> fired;
+    int next_id = 0;
+    for (int round = 0; round < 200; round++) {
+        const int burst = 1 + static_cast<int>(rng.uniformInt(8));
+        for (int i = 0; i < burst; i++) {
+            // Mix of near, same-tick, and far-future times.
+            Tick when = eq.now();
+            switch (rng.uniformInt(4)) {
+            case 0: break;
+            case 1: when += rng.uniformInt(3); break;
+            case 2: when += rng.uniformInt(10 * kMicrosecond); break;
+            default:
+                when += rng.uniformInt(kSecond);
+                break;
+            }
+            const int id = next_id++;
+            scheduled.push_back({when, id});
+            eq.schedule(when, [&fired, id] { fired.push_back(id); });
+        }
+        const int pops = static_cast<int>(rng.uniformInt(4));
+        for (int i = 0; i < pops; i++)
+            eq.runOne();
+    }
+    eq.runAll();
+    std::stable_sort(scheduled.begin(), scheduled.end(),
+                     [](const Rec &a, const Rec &b) {
+                         return a.when < b.when;
+                     });
+    ASSERT_EQ(fired.size(), scheduled.size());
+    for (std::size_t i = 0; i < fired.size(); i++)
+        ASSERT_EQ(fired[i], scheduled[i].id);
 }
 
 TEST(Rng, Deterministic)
@@ -236,6 +411,48 @@ TEST(Histogram, MergeAndReset)
     a.reset();
     EXPECT_EQ(a.count(), 0u);
     EXPECT_EQ(a.percentile(50), 0u);
+}
+
+TEST(Histogram, EmptyAndSingleSampleEdgeCases)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.percentile(0.0), 0u);
+    EXPECT_EQ(h.percentile(100.0), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+
+    h.record(777 * kNanosecond);
+    EXPECT_EQ(h.percentile(0.0), 777 * kNanosecond);
+    EXPECT_EQ(h.percentile(50.0), 777 * kNanosecond);
+    EXPECT_EQ(h.percentile(100.0), 777 * kNanosecond);
+}
+
+TEST(Histogram, PercentileClampsToMax)
+{
+    // A sample near a bucket's lower edge: the bucket's upper edge
+    // exceeds the true maximum and must be clamped to max().
+    LatencyHistogram h;
+    const Tick v = (Tick{1} << 40) + 1;
+    h.record(v);
+    EXPECT_EQ(h.percentile(99.9), v);
+    EXPECT_EQ(h.percentile(100.0), v);
+}
+
+TEST(Histogram, MergeEmptyKeepsExtremes)
+{
+    LatencyHistogram a, empty;
+    a.record(5 * kMicrosecond);
+    a.record(9 * kMicrosecond);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.min(), 5 * kMicrosecond);
+    EXPECT_EQ(a.max(), 9 * kMicrosecond);
+    // Merging INTO a fresh histogram must adopt the samples' min,
+    // not keep the empty histogram's sentinel.
+    LatencyHistogram b;
+    b.merge(a);
+    EXPECT_EQ(b.min(), 5 * kMicrosecond);
+    EXPECT_EQ(b.percentile(0.0), 5 * kMicrosecond);
 }
 
 TEST(Histogram, CdfMonotone)
