@@ -9,7 +9,7 @@
 namespace clio {
 
 CBoard::CBoard(EventQueue &eq, Network &network, const ModelConfig &cfg,
-               std::uint64_t phys_bytes)
+               std::uint64_t phys_bytes, RackId rack)
     : eq_(eq), net_(network), cfg_(cfg),
       memory_(phys_bytes ? phys_bytes : cfg.mn_phys_bytes),
       frames_(memory_.capacity(), cfg.page_table.page_size),
@@ -21,7 +21,8 @@ CBoard::CBoard(EventQueue &eq, Network &network, const ModelConfig &cfg,
       dedup_(cfg.dedup.entries),
       async_buffer_(cfg.slow_path.async_buffer_pages)
 {
-    node_ = net_.addNode([this](Packet pkt) { onPacket(std::move(pkt)); });
+    node_ = net_.addNode([this](Packet pkt) { onPacket(std::move(pkt)); },
+                         0, rack);
     // Boot-time pre-generation: the ARM fills the async buffer before
     // the board starts serving (§4.3). Reservation is capped to a
     // quarter of physical memory so tiny test MNs keep frames

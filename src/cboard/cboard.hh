@@ -76,9 +76,10 @@ class CBoard
     /**
      * Create a CBoard attached to `network`.
      * @param phys_bytes on-board DRAM capacity (0 = cfg.mn_phys_bytes).
+     * @param rack rack whose ToR the board's port connects to.
      */
     CBoard(EventQueue &eq, Network &network, const ModelConfig &cfg,
-           std::uint64_t phys_bytes = 0);
+           std::uint64_t phys_bytes = 0, RackId rack = 0);
 
     NodeId nodeId() const { return node_; }
 

@@ -19,20 +19,39 @@ ClioClient::ClioClient(CNode &cn, ProcId pid, NodeId home_mn)
 {
 }
 
+std::vector<ClioClient::Region>::iterator
+ClioClient::regionAt(VirtAddr addr)
+{
+    return std::lower_bound(regions_.begin(), regions_.end(), addr,
+                            [](const Region &r, VirtAddr a) {
+                                return r.start < a;
+                            });
+}
+
 void
 ClioClient::noteRegion(VirtAddr addr, std::uint64_t size, NodeId mn)
 {
-    regions_[addr] = {size, mn};
+    auto it = regionAt(addr);
+    if (it != regions_.end() && it->start == addr) {
+        it->length = size;
+        it->mn = mn;
+        return;
+    }
+    regions_.insert(it, Region{addr, size, mn, false});
 }
 
 NodeId
 ClioClient::mnFor(VirtAddr addr) const
 {
-    auto next = regions_.upper_bound(addr);
+    // Greatest start <= addr, containment check.
+    auto next = std::upper_bound(regions_.begin(), regions_.end(), addr,
+                                 [](VirtAddr a, const Region &r) {
+                                     return a < r.start;
+                                 });
     if (next != regions_.begin()) {
-        const auto &[start, entry] = *std::prev(next);
-        if (addr >= start && addr < start + entry.first)
-            return entry.second;
+        const Region &r = *std::prev(next);
+        if (addr >= r.start && addr < r.start + r.length)
+            return r.mn;
     }
     return home_mn_;
 }
@@ -43,7 +62,6 @@ ClioClient::copyRoutingFrom(const ClioClient &other)
     clio_assert(pid_ == other.pid_,
                 "routing can only be shared within one RAS (same PID)");
     regions_ = other.regions_;
-    alloc_sizes_ = other.alloc_sizes_;
 }
 
 void
@@ -52,11 +70,12 @@ ClioClient::redirectRegion(VirtAddr start, std::uint64_t length,
 {
     // Update every fine-grained routing entry inside the region, then
     // make sure the coarse range itself resolves to the new MN.
-    for (auto it = regions_.lower_bound(start);
-         it != regions_.end() && it->first < start + length; ++it) {
-        it->second.second = mn;
-    }
-    regions_.try_emplace(start, std::make_pair(length, mn));
+    auto it = regionAt(start);
+    const bool have_exact = it != regions_.end() && it->start == start;
+    for (; it != regions_.end() && it->start < start + length; ++it)
+        it->mn = mn;
+    if (!have_exact)
+        regions_.insert(regionAt(start), Region{start, length, mn, false});
 }
 
 // ---------------------------------------------------------------------
@@ -89,8 +108,8 @@ ClioClient::submit(Op op)
         }
     }
     if (!blocked) {
-        for (const auto &[seq, inflight_op] : inflight_) {
-            if (conflicts(op.fp, inflight_op.fp)) {
+        for (const InflightFp &inflight : inflight_fps_) {
+            if (conflicts(op.fp, inflight.fp)) {
                 blocked = true;
                 break;
             }
@@ -111,7 +130,8 @@ ClioClient::issueNow(Op op)
     const std::uint64_t seq = op.op_seq;
     auto req = op.req;
     const std::uint64_t expected = op.expected_resp_bytes;
-    inflight_.emplace(seq, std::move(op));
+    inflight_fps_.push_back(InflightFp{seq, op.fp});
+    inflight_ops_.push_back(std::move(op));
     cn_.issue(std::move(req), expected,
               [this, seq](Status status,
                           const std::vector<std::uint8_t> &data,
@@ -125,10 +145,19 @@ ClioClient::onComplete(std::uint64_t op_seq, Status status,
                        const std::vector<std::uint8_t> &data,
                        std::uint64_t value)
 {
-    auto it = inflight_.find(op_seq);
-    clio_assert(it != inflight_.end(), "completion for unknown op");
-    Op op = std::move(it->second);
-    inflight_.erase(it);
+    std::size_t idx = inflight_fps_.size();
+    for (std::size_t i = 0; i < inflight_fps_.size(); i++) {
+        if (inflight_fps_[i].op_seq == op_seq) {
+            idx = i;
+            break;
+        }
+    }
+    clio_assert(idx < inflight_fps_.size(), "completion for unknown op");
+    Op op = std::move(inflight_ops_[idx]);
+    inflight_fps_[idx] = inflight_fps_.back();
+    inflight_fps_.pop_back();
+    inflight_ops_[idx] = std::move(inflight_ops_.back());
+    inflight_ops_.pop_back();
 
     op.handle->status = status;
     op.handle->value = value;
@@ -142,10 +171,11 @@ ClioClient::onComplete(std::uint64_t op_seq, Status status,
     // Post-processing of metadata ops.
     if (op.req->type == MsgType::kAlloc && status == Status::kOk) {
         noteRegion(value, op.req->size, op.req->dst);
-        alloc_sizes_[value] = op.req->size;
+        regionAt(value)->is_alloc = true;
     } else if (op.req->type == MsgType::kFree && status == Status::kOk) {
-        regions_.erase(op.req->addr);
-        alloc_sizes_.erase(op.req->addr);
+        auto it = regionAt(op.req->addr);
+        if (it != regions_.end() && it->start == op.req->addr)
+            regions_.erase(it);
     }
 
     op.handle->done = true;
@@ -163,34 +193,36 @@ ClioClient::drainPending()
 {
     // Issue every queued op whose conflicts (against inflight ops and
     // *earlier* queued ops) have cleared, preserving order among
-    // dependent requests only.
+    // dependent requests only. Kept entries are compacted in place.
     std::vector<Footprint> earlier;
     earlier.reserve(pending_.size());
-    for (auto it = pending_.begin(); it != pending_.end();) {
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < pending_.size(); i++) {
         bool blocked = false;
         for (const auto &fp : earlier) {
-            if (conflicts(it->fp, fp)) {
+            if (conflicts(pending_[i].fp, fp)) {
                 blocked = true;
                 break;
             }
         }
         if (!blocked) {
-            for (const auto &[seq, inflight_op] : inflight_) {
-                if (conflicts(it->fp, inflight_op.fp)) {
+            for (const InflightFp &inflight : inflight_fps_) {
+                if (conflicts(pending_[i].fp, inflight.fp)) {
                     blocked = true;
                     break;
                 }
             }
         }
         if (blocked) {
-            earlier.push_back(it->fp);
-            ++it;
+            earlier.push_back(pending_[i].fp);
+            if (keep != i)
+                pending_[keep] = std::move(pending_[i]);
+            keep++;
         } else {
-            Op op = std::move(*it);
-            it = pending_.erase(it);
-            issueNow(std::move(op));
+            issueNow(std::move(pending_[i]));
         }
     }
+    pending_.resize(keep);
 }
 
 // ---------------------------------------------------------------------
@@ -206,7 +238,7 @@ ClioClient::rallocAsync(std::uint64_t size, std::uint8_t perm,
                           ? mn_override
                           : (alloc_picker_ ? alloc_picker_(size)
                                            : home_mn_);
-    auto req = req_pool_.acquire();
+    auto req = cn_.requestPool().acquire();
     req->type = MsgType::kAlloc;
     req->pid = pid_;
     req->dst = mn;
@@ -215,7 +247,7 @@ ClioClient::rallocAsync(std::uint64_t size, std::uint8_t perm,
     req->populate = populate;
     Op op;
     op.fp = Footprint{0, 0, false, false}; // fresh VAs: no conflicts
-    op.handle = handle_pool_.acquire();
+    op.handle = cn_.handlePool().acquire();
     op.req = std::move(req);
     op.expected_resp_bytes = 0;
     return submit(std::move(op));
@@ -225,21 +257,21 @@ HandlePtr
 ClioClient::rfreeAsync(VirtAddr addr)
 {
     stats_.frees++;
-    auto req = req_pool_.acquire();
+    auto req = cn_.requestPool().acquire();
     req->type = MsgType::kFree;
     req->pid = pid_;
     req->dst = mnFor(addr);
     req->addr = addr;
     std::uint64_t size = kTrackPage;
-    auto it = alloc_sizes_.find(addr);
-    if (it != alloc_sizes_.end())
-        size = it->second;
+    auto it = regionAt(addr);
+    if (it != regions_.end() && it->start == addr && it->is_alloc)
+        size = it->length;
     Op op;
     // A free conflicts with any access to the freed range (§3.1: no
     // read/write may start until the rfree finishes).
     op.fp = Footprint{addr / kTrackPage, (addr + size - 1) / kTrackPage,
                       true, false};
-    op.handle = handle_pool_.acquire();
+    op.handle = cn_.handlePool().acquire();
     op.req = std::move(req);
     return submit(std::move(op));
 }
@@ -248,7 +280,7 @@ HandlePtr
 ClioClient::rreadAsync(VirtAddr addr, void *buf, std::uint64_t len)
 {
     stats_.reads++;
-    auto req = req_pool_.acquire();
+    auto req = cn_.requestPool().acquire();
     req->type = MsgType::kRead;
     req->pid = pid_;
     req->dst = mnFor(addr);
@@ -257,7 +289,7 @@ ClioClient::rreadAsync(VirtAddr addr, void *buf, std::uint64_t len)
     Op op;
     op.fp = Footprint{addr / kTrackPage, (addr + len - 1) / kTrackPage,
                       false, false};
-    op.handle = handle_pool_.acquire();
+    op.handle = cn_.handlePool().acquire();
     op.req = std::move(req);
     op.expected_resp_bytes = len;
     op.read_buf = buf;
@@ -278,7 +310,7 @@ ClioClient::rwriteAsync(VirtAddr addr, std::vector<std::uint8_t> data)
 {
     stats_.writes++;
     const std::uint64_t len = data.size();
-    auto req = req_pool_.acquire();
+    auto req = cn_.requestPool().acquire();
     req->type = MsgType::kWrite;
     req->pid = pid_;
     req->dst = mnFor(addr);
@@ -288,7 +320,7 @@ ClioClient::rwriteAsync(VirtAddr addr, std::vector<std::uint8_t> data)
     Op op;
     op.fp = Footprint{addr / kTrackPage, (addr + len - 1) / kTrackPage,
                       true, false};
-    op.handle = handle_pool_.acquire();
+    op.handle = cn_.handlePool().acquire();
     op.req = std::move(req);
     return submit(std::move(op));
 }
@@ -298,7 +330,7 @@ ClioClient::atomicAsync(VirtAddr addr, AtomicOp aop, std::uint64_t arg0,
                         std::uint64_t arg1)
 {
     stats_.atomics++;
-    auto req = req_pool_.acquire();
+    auto req = cn_.requestPool().acquire();
     req->type = MsgType::kAtomic;
     req->pid = pid_;
     req->dst = mnFor(addr);
@@ -309,7 +341,7 @@ ClioClient::atomicAsync(VirtAddr addr, AtomicOp aop, std::uint64_t arg0,
     req->arg1 = arg1;
     Op op;
     op.fp = Footprint{addr / kTrackPage, addr / kTrackPage, true, false};
-    op.handle = handle_pool_.acquire();
+    op.handle = cn_.handlePool().acquire();
     op.req = std::move(req);
     return submit(std::move(op));
 }
@@ -318,13 +350,13 @@ HandlePtr
 ClioClient::fenceAsync()
 {
     stats_.fences++;
-    auto req = req_pool_.acquire();
+    auto req = cn_.requestPool().acquire();
     req->type = MsgType::kFence;
     req->pid = pid_;
     req->dst = home_mn_;
     Op op;
     op.fp = Footprint{0, ~0ull, true, true}; // full barrier
-    op.handle = handle_pool_.acquire();
+    op.handle = cn_.handlePool().acquire();
     op.req = std::move(req);
     return submit(std::move(op));
 }
@@ -335,7 +367,7 @@ ClioClient::offloadAsync(NodeId mn, std::uint32_t offload_id,
                          std::uint64_t expected_resp_bytes)
 {
     stats_.offloads++;
-    auto req = req_pool_.acquire();
+    auto req = cn_.requestPool().acquire();
     req->type = MsgType::kOffload;
     req->pid = pid_;
     req->dst = mn;
@@ -345,7 +377,7 @@ ClioClient::offloadAsync(NodeId mn, std::uint32_t offload_id,
     // Offloads act on the offload's own RAS; apps order them with
     // rpoll when needed.
     op.fp = Footprint{0, 0, false, false};
-    op.handle = handle_pool_.acquire();
+    op.handle = cn_.handlePool().acquire();
     op.req = std::move(req);
     op.expected_resp_bytes = expected_resp_bytes;
     return submit(std::move(op));
@@ -376,7 +408,7 @@ void
 ClioClient::rrelease()
 {
     const bool ok = cn_.eventQueue().runUntil(
-        [this] { return inflight_.empty() && pending_.empty(); });
+        [this] { return inflight_fps_.empty() && pending_.empty(); });
     clio_assert(ok, "rrelease: simulation drained with requests pending");
 }
 

@@ -28,10 +28,9 @@
 #define CLIO_CLIB_CLIENT_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "clib/cnode.hh"
@@ -248,7 +247,7 @@ class ClioClient
 
     /** Inflight + queued request count (test hook). */
     std::size_t outstanding() const {
-        return inflight_.size() + pending_.size();
+        return inflight_fps_.size() + pending_.size();
     }
 
   private:
@@ -263,6 +262,7 @@ class ClioClient
         /** Full barrier (fence/release): conflicts with everything. */
         bool barrier = false;
     };
+    static_assert(std::is_trivially_copyable_v<Footprint>);
 
     struct Op
     {
@@ -274,7 +274,29 @@ class ClioClient
         void *read_buf = nullptr;
     };
 
+    /**
+     * One routing/allocation record: [start, start+length) is served
+     * by `mn`. Trivially copyable; kept in one flat vector sorted by
+     * `start` (binary-searched on every request), merging what used
+     * to be two std::maps — at 10^4+ processes per CN the per-node
+     * map allocations dominated the client-state footprint.
+     */
+    struct Region
+    {
+        VirtAddr start = 0;
+        std::uint64_t length = 0;
+        NodeId mn = 0;
+        /** Set when the record is a local ralloc (its length is the
+         * allocation size, used for the rfree conflict footprint);
+         * routing-only entries (redirect/noteRegion) leave it clear. */
+        bool is_alloc = false;
+    };
+    static_assert(std::is_trivially_copyable_v<Region>);
+
     static bool conflicts(const Footprint &a, const Footprint &b);
+
+    /** First record with start >= `addr`. */
+    std::vector<Region>::iterator regionAt(VirtAddr addr);
 
     /** Admit an op: issue now or queue behind conflicting ones (T2). */
     HandlePtr submit(Op op);
@@ -289,20 +311,24 @@ class ClioClient
     NodeId home_mn_;
     std::function<NodeId(std::uint64_t)> alloc_picker_;
 
-    /** Region routing table: start -> (length, MN). */
-    std::map<VirtAddr, std::pair<std::uint64_t, NodeId>> regions_;
-    /** Local allocation sizes (for rfree footprints). */
-    std::map<VirtAddr, std::uint64_t> alloc_sizes_;
+    /** Region routing + allocation table, sorted by start. */
+    std::vector<Region> regions_;
 
     std::uint64_t next_op_seq_ = 1;
-    std::map<std::uint64_t, Op> inflight_; ///< issued, not yet complete
-    std::deque<Op> pending_;               ///< queued on conflicts
-
-    /** Recycling rings for the per-op allocations (request message +
-     * handle); both live ~one RTT, so a 64-deep ring almost always
-     * recycles instead of hitting the allocator. */
-    MessagePool<RequestMsg> req_pool_;
-    MessagePool<RequestHandle> handle_pool_;
+    /** Issued-but-incomplete ops, struct-of-arrays: the conflict scan
+     * on every submit touches only the packed (seq, footprint) array;
+     * the Op bodies ride in a parallel array (swap-removed together).
+     */
+    struct InflightFp
+    {
+        std::uint64_t op_seq = 0;
+        Footprint fp;
+    };
+    static_assert(std::is_trivially_copyable_v<InflightFp>);
+    std::vector<InflightFp> inflight_fps_;
+    std::vector<Op> inflight_ops_;
+    /** Ops queued on conflicts, FIFO (compacted in place on drain). */
+    std::vector<Op> pending_;
 
     ClientStats stats_;
 };

@@ -3,36 +3,74 @@
 #include <algorithm>
 #include <cmath>
 
+#include "clib/client.hh"
 #include "proto/wire.hh"
 #include "sim/logging.hh"
 
 namespace clio {
 
-CNode::CNode(EventQueue &eq, Network &network, const ModelConfig &cfg)
+CNode::CNode(EventQueue &eq, Network &network, const ModelConfig &cfg,
+             RackId rack)
     : eq_(eq), net_(network), cfg_(cfg)
 {
-    node_ = net_.addNode([this](Packet pkt) { onPacket(std::move(pkt)); });
+    node_ = net_.addNode([this](Packet pkt) { onPacket(std::move(pkt)); },
+                         0, rack);
 }
 
-CNode::PerMn &
-CNode::mnState(NodeId mn)
+std::size_t
+CNode::mnIndex(NodeId mn)
 {
-    for (auto &[id, st] : per_mn_) {
-        if (id == mn)
-            return st;
+    for (std::size_t i = 0; i < mn_ids_.size(); i++) {
+        if (mn_ids_[i] == mn)
+            return i;
     }
-    per_mn_.emplace_back(mn, PerMn{cfg_.clib.cwnd_init, 0, {}, 0, 0});
-    return per_mn_.back().second;
+    mn_ids_.push_back(mn);
+    PerMn st;
+    st.cwnd = cfg_.clib.cwnd_init;
+    mn_state_.push_back(st);
+    mn_wait_.emplace_back();
+    return mn_ids_.size() - 1;
 }
 
 double
 CNode::cwnd(NodeId mn) const
 {
-    for (const auto &[id, st] : per_mn_) {
-        if (id == mn)
-            return st.cwnd;
+    for (std::size_t i = 0; i < mn_ids_.size(); i++) {
+        if (mn_ids_[i] == mn)
+            return mn_state_[i].cwnd;
     }
     return cfg_.clib.cwnd_init;
+}
+
+std::uint32_t
+CNode::allocSlot()
+{
+    if (!out_free_.empty()) {
+        const std::uint32_t slot = out_free_.back();
+        out_free_.pop_back();
+        return slot;
+    }
+    out_slots_.emplace_back();
+    return static_cast<std::uint32_t>(out_slots_.size() - 1);
+}
+
+void
+CNode::freeSlot(std::uint32_t slot)
+{
+    // Drop the op's owned state but keep the slot body (and any vector
+    // capacity inside a recycled message) for the next request.
+    Outstanding &out = out_slots_[slot];
+    out.req.reset();
+    out.cb = nullptr;
+    out.resp.reset();
+    out.expected_resp_bytes = 0;
+    out.sent_at = 0;
+    out.retries = 0;
+    out.generation = 0;
+    out.resp_parts_seen = 0;
+    out.resp_parts_total = 0;
+    out.resp_corrupted = false;
+    out_free_.push_back(slot);
 }
 
 void
@@ -45,21 +83,24 @@ CNode::issue(std::shared_ptr<RequestMsg> req,
     req->src = node_;
     stats_.requests++;
 
-    Outstanding out;
+    const NodeId mn = req->dst;
+    const std::uint32_t slot = allocSlot();
+    Outstanding &out = out_slots_[slot];
     out.req = std::move(req);
     out.cb = std::move(cb);
     out.expected_resp_bytes = expected_resp_bytes;
-    const NodeId mn = out.req->dst;
-    outstanding_.emplace(id, std::move(out));
-    mnState(mn).wait_queue.push_back(id);
+    out_index_.emplace(id, slot);
+    mn_wait_[mnIndex(mn)].push_back(id);
     trySend(mn);
 }
 
 void
 CNode::trySend(NodeId mn)
 {
-    PerMn &st = mnState(mn);
-    while (!st.wait_queue.empty()) {
+    const std::size_t idx = mnIndex(mn);
+    PerMn &st = mn_state_[idx];
+    std::deque<ReqId> &wait = mn_wait_[idx];
+    while (!wait.empty()) {
         // Congestion window admission (cwnd may be fractional, §4.4).
         if (st.cwnd >= 1.0) {
             if (st.inflight >=
@@ -76,19 +117,19 @@ CNode::trySend(NodeId mn)
                 return;
             }
         }
-        const ReqId id = st.wait_queue.front();
-        auto it = outstanding_.find(id);
-        if (it == outstanding_.end()) {
-            st.wait_queue.pop_front(); // cancelled/stale
+        const ReqId id = wait.front();
+        auto it = out_index_.find(id);
+        if (it == out_index_.end()) {
+            wait.pop_front(); // cancelled/stale
             continue;
         }
-        Outstanding &out = it->second;
+        Outstanding &out = out_slots_[it->second];
         // Incast window: bound expected response bytes (always admit
         // at least one request so big reads are not starved).
         if (iwnd_used_ > 0 &&
             iwnd_used_ + out.expected_resp_bytes > cfg_.clib.iwnd_bytes)
             return;
-        st.wait_queue.pop_front();
+        wait.pop_front();
         st.inflight++;
         iwnd_used_ += out.expected_resp_bytes;
         transmit(out);
@@ -148,9 +189,9 @@ CNode::timeoutFor(const RequestMsg &req) const
 void
 CNode::armTimeout(ReqId attempt_id, std::uint64_t generation)
 {
-    auto it = outstanding_.find(attempt_id);
-    clio_assert(it != outstanding_.end(), "arming unknown request");
-    eq_.scheduleAfter(timeoutFor(*it->second.req),
+    auto it = out_index_.find(attempt_id);
+    clio_assert(it != out_index_.end(), "arming unknown request");
+    eq_.scheduleAfter(timeoutFor(*out_slots_[it->second].req),
                       [this, attempt_id, generation] {
                           handleTimeout(attempt_id, generation);
                       });
@@ -159,21 +200,26 @@ CNode::armTimeout(ReqId attempt_id, std::uint64_t generation)
 void
 CNode::handleTimeout(ReqId attempt_id, std::uint64_t generation)
 {
-    auto it = outstanding_.find(attempt_id);
-    if (it == outstanding_.end() || it->second.generation != generation)
+    auto it = out_index_.find(attempt_id);
+    if (it == out_index_.end() ||
+        out_slots_[it->second].generation != generation)
         return; // completed or already retried
     stats_.timeouts++;
-    Outstanding out = std::move(it->second);
-    outstanding_.erase(it);
-    retry(std::move(out), true);
+    const std::uint32_t slot = it->second;
+    out_index_.erase(it);
+    retry(slot, true);
 }
 
 void
-CNode::retry(Outstanding out, bool congestion_signal)
+CNode::retry(std::uint32_t slot, bool congestion_signal)
 {
+    // The caller already unlinked `slot` from out_index_; the body
+    // stays in place and is either re-linked under a fresh attempt id
+    // or recycled after the failure callback is scheduled.
+    Outstanding &out = out_slots_[slot];
     const NodeId mn = out.req->dst;
     if (congestion_signal) {
-        PerMn &st = mnState(mn);
+        PerMn &st = mn_state_[mnIndex(mn)];
         const Tick guard = std::max<Tick>(st.last_rtt, cfg_.clib.timeout);
         if (eq_.now() >= st.last_decrease + guard) {
             st.cwnd = std::max(st.cwnd * cfg_.clib.cwnd_mult_dec, 0.01);
@@ -197,7 +243,7 @@ CNode::retry(Outstanding out, bool congestion_signal)
             out.req->dst, to_string(Status::kRetryExceeded),
             out.retries));
         stats_.failures++;
-        PerMn &st = mnState(mn);
+        PerMn &st = mn_state_[mnIndex(mn)];
         clio_assert(st.inflight > 0, "inflight underflow");
         st.inflight--;
         iwnd_used_ -= out.expected_resp_bytes;
@@ -206,6 +252,7 @@ CNode::retry(Outstanding out, bool congestion_signal)
         eq_.schedule(deliver, [cb = std::move(cb)] {
             cb(Status::kRetryExceeded, {}, 0);
         });
+        freeSlot(slot);
         trySend(mn);
         return;
     }
@@ -217,16 +264,17 @@ CNode::retry(Outstanding out, bool congestion_signal)
     fresh->req_id = (static_cast<ReqId>(node_) << 40) | next_req_seq_++;
     out.req = std::move(fresh);
     out.retries++;
-    const ReqId new_id = out.req->req_id;
-    auto [it, inserted] = outstanding_.emplace(new_id, std::move(out));
+    const auto [it, inserted] =
+        out_index_.emplace(out.req->req_id, slot);
     clio_assert(inserted, "request id collision");
-    transmit(it->second);
+    (void)it;
+    transmit(out);
 }
 
 void
 CNode::updateCwnd(NodeId mn, Tick rtt)
 {
-    PerMn &st = mnState(mn);
+    PerMn &st = mn_state_[mnIndex(mn)];
     st.last_rtt = rtt;
     if (rtt > cfg_.clib.target_rtt) {
         // At most one multiplicative decrease per RTT: every ack of
@@ -251,17 +299,17 @@ CNode::updateCwnd(NodeId mn, Tick rtt)
 void
 CNode::onPacket(Packet pkt)
 {
-    auto it = outstanding_.find(pkt.req_id);
-    if (it == outstanding_.end())
+    auto it = out_index_.find(pkt.req_id);
+    if (it == out_index_.end())
         return; // stale response (e.g. the original after a retry won)
-    Outstanding &out = it->second;
+    const std::uint32_t slot = it->second;
+    Outstanding &out = out_slots_[slot];
 
     if (pkt.type == MsgType::kNack) {
         // MN's link layer saw a corrupted packet of our request (§4.4).
         stats_.nacks++;
-        Outstanding moved = std::move(out);
-        outstanding_.erase(it);
-        retry(std::move(moved), false);
+        out_index_.erase(it);
+        retry(slot, false);
         return;
     }
 
@@ -302,13 +350,12 @@ CNode::onPacket(Packet pkt)
 
     if (out.resp_corrupted) {
         // Checksum failure on the response: retry the whole request.
-        Outstanding moved = std::move(out);
-        outstanding_.erase(it);
-        retry(std::move(moved), false);
+        out_index_.erase(it);
+        retry(slot, false);
         return;
     }
 
-    PerMn &st = mnState(mn);
+    PerMn &st = mn_state_[mnIndex(mn)];
     clio_assert(st.inflight > 0, "inflight underflow");
     st.inflight--;
     iwnd_used_ -= out.expected_resp_bytes;
@@ -316,7 +363,8 @@ CNode::onPacket(Packet pkt)
 
     auto resp = out.resp;
     auto cb = std::move(out.cb);
-    outstanding_.erase(it);
+    out_index_.erase(it);
+    freeSlot(slot);
 
     // CN NIC + CLib software receive overhead before the app sees it.
     const Tick deliver =

@@ -13,6 +13,12 @@
  *    one outstanding request under heavy congestion (Swift-style,
  *    §4.4), plus an incast window bounding expected response bytes;
  *  - MTU split on send and response reassembly on receive (T1).
+ *
+ * Layout note: one CNode is shared by every simulated process on its
+ * server, so at 10^4+ processes per CN the per-request state here is
+ * kept in pooled slots (bodies are recycled, never freed per-op) and
+ * the per-MN congestion records are a trivially-copyable
+ * struct-of-arrays scanned linearly on the send/ack paths.
  */
 
 #ifndef CLIO_CLIB_CNODE_HH
@@ -22,7 +28,9 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <type_traits>
 #include <unordered_map>
+#include <vector>
 
 #include "net/network.hh"
 #include "proto/messages.hh"
@@ -31,6 +39,8 @@
 #include "sim/stats.hh"
 
 namespace clio {
+
+struct RequestHandle;
 
 /** Transport-level statistics for one CNode. */
 struct CNodeStats
@@ -53,7 +63,8 @@ class CNode
                                           const std::vector<std::uint8_t> &,
                                           std::uint64_t value)>;
 
-    CNode(EventQueue &eq, Network &network, const ModelConfig &cfg);
+    CNode(EventQueue &eq, Network &network, const ModelConfig &cfg,
+          RackId rack = 0);
 
     NodeId nodeId() const { return node_; }
     EventQueue &eventQueue() { return eq_; }
@@ -76,6 +87,14 @@ class CNode
     /** Current congestion window toward an MN (test/bench hook). */
     double cwnd(NodeId mn) const;
 
+    /** @{ Recycling rings shared by every ClioClient on this CN (a
+     * request message / handle lives ~one RTT, so a per-node ring
+     * recycles across all processes instead of each of 10^4+ clients
+     * carrying its own ~1 KB pool). */
+    MessagePool<RequestMsg> &requestPool() { return req_pool_; }
+    MessagePool<RequestHandle> &handlePool() { return handle_pool_; }
+    /** @} */
+
   private:
     struct Outstanding
     {
@@ -93,20 +112,20 @@ class CNode
         bool resp_corrupted = false;
     };
 
-    /** Per-destination-MN congestion state. */
+    /** Per-destination-MN congestion state: the scalar record scanned
+     * and updated on every send/ack. Trivially copyable by design —
+     * the (cold) per-MN wait queues live in a parallel array. */
     struct PerMn
     {
-        double cwnd;
+        double cwnd = 0.0;
         std::uint32_t inflight = 0;
-        /** Requests admitted by the client layer but waiting for
-         * window room, FIFO. */
-        std::deque<ReqId> wait_queue;
         /** Pacing gate used when cwnd < 1. */
         Tick next_send_allowed = 0;
         Tick last_rtt = 0;
         /** Once-per-RTT limiter for multiplicative decrease. */
         Tick last_decrease = 0;
     };
+    static_assert(std::is_trivially_copyable_v<PerMn>);
 
     void onPacket(Packet pkt);
     void trySend(NodeId mn);
@@ -115,26 +134,43 @@ class CNode
     void transmit(Outstanding &out);
     void armTimeout(ReqId attempt_id, std::uint64_t generation);
     void handleTimeout(ReqId attempt_id, std::uint64_t generation);
-    void retry(Outstanding out, bool congestion_signal);
-    void complete(ReqId attempt_id, Status status,
-                  const std::vector<std::uint8_t> &data,
-                  std::uint64_t value);
+    void retry(std::uint32_t slot, bool congestion_signal);
     void updateCwnd(NodeId mn, Tick rtt);
-    PerMn &mnState(NodeId mn);
+    /** Index of `mn`'s congestion record (appended on first use). A
+     * handful of MNs exist per cluster, so a linear id scan beats
+     * hashing. */
+    std::size_t mnIndex(NodeId mn);
+
+    /** @{ Pooled outstanding-request slots: bodies are recycled
+     * through a free list (their vectors keep capacity across ops),
+     * and the id map holds a 4-byte slot index instead of a body. */
+    std::uint32_t allocSlot();
+    void freeSlot(std::uint32_t slot);
+    /** @} */
 
     EventQueue &eq_;
     Network &net_;
     ModelConfig cfg_;
     NodeId node_;
 
-    /** Outstanding requests keyed by CURRENT attempt id. */
-    std::unordered_map<ReqId, Outstanding> outstanding_;
-    /** Per-MN congestion state. A handful of MNs exist per cluster, so
-     * a linear scan beats hashing; deque keeps references stable across
-     * the insert-only growth (callers hold PerMn& across calls). */
-    std::deque<std::pair<NodeId, PerMn>> per_mn_;
+    /** Outstanding requests: CURRENT attempt id -> slot. */
+    std::unordered_map<ReqId, std::uint32_t> out_index_;
+    std::vector<Outstanding> out_slots_;
+    std::vector<std::uint32_t> out_free_;
+
+    /** @{ Per-MN congestion state, struct-of-arrays (parallel). */
+    std::vector<NodeId> mn_ids_;
+    std::vector<PerMn> mn_state_;
+    /** Requests admitted by the client layer but waiting for window
+     * room, FIFO per MN. */
+    std::vector<std::deque<ReqId>> mn_wait_;
+    /** @} */
+
     std::uint64_t next_req_seq_ = 1;
     std::uint64_t iwnd_used_ = 0;
+
+    MessagePool<RequestMsg> req_pool_;
+    MessagePool<RequestHandle> handle_pool_;
 
     CNodeStats stats_;
     LatencyHistogram rtt_hist_;

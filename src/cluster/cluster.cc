@@ -15,15 +15,49 @@ Cluster::Cluster(const ModelConfig &cfg, std::uint32_t num_cns,
     for (std::uint32_t i = 0; i < num_mns; i++) {
         mns_.push_back(
             std::make_unique<CBoard>(eq_, net_, cfg_, mn_phys_bytes));
-        CBoard *board = mns_.back().get();
-        board->setWindowedMode(num_mns > 1);
-        board->setWindowRequestHook(
-            [this, i](ProcId pid, std::uint64_t size) {
-                return grantWindows(pid, i, size);
-            });
+        attachMnHooks(i, num_mns > 1);
     }
     for (std::uint32_t i = 0; i < num_cns; i++)
         cns_.push_back(std::make_unique<CNode>(eq_, net_, cfg_));
+}
+
+Cluster::Cluster(const ModelConfig &cfg, const ClusterSpec &spec)
+    : cfg_(cfg), eq_(cfg.event_queue_impl),
+      net_(eq_, cfg.net, cfg.seed * 7919 + 1), sharded_(true),
+      shard_map_(spec.shard_vnodes)
+{
+    clio_assert(spec.racks > 0 && spec.cns_per_rack > 0 &&
+                    spec.mns_per_rack > 0,
+                "cluster spec needs racks, CNs, and MNs");
+    const std::uint32_t total_mns = spec.racks * spec.mns_per_rack;
+    // MNs first, then CNs, exactly like the legacy constructor, so
+    // node-id assignment stays deterministic across cluster shapes.
+    for (RackId rack = 0; rack < spec.racks; rack++) {
+        for (std::uint32_t i = 0; i < spec.mns_per_rack; i++) {
+            const std::uint32_t idx =
+                static_cast<std::uint32_t>(mns_.size());
+            mns_.push_back(std::make_unique<CBoard>(
+                eq_, net_, cfg_, spec.mn_phys_bytes, rack));
+            attachMnHooks(idx, total_mns > 1);
+            shard_map_.addMn(idx, rack);
+        }
+    }
+    for (RackId rack = 0; rack < spec.racks; rack++) {
+        for (std::uint32_t i = 0; i < spec.cns_per_rack; i++)
+            cns_.push_back(
+                std::make_unique<CNode>(eq_, net_, cfg_, rack));
+    }
+}
+
+void
+Cluster::attachMnHooks(std::uint32_t mn_idx, bool windowed)
+{
+    CBoard *board = mns_[mn_idx].get();
+    board->setWindowedMode(windowed);
+    board->setWindowRequestHook(
+        [this, mn_idx](ProcId pid, std::uint64_t size) {
+            return grantWindows(pid, mn_idx, size);
+        });
 }
 
 std::uint32_t
@@ -51,19 +85,48 @@ Cluster::leastPressuredMn() const
     return best;
 }
 
+std::uint32_t
+Cluster::homeMnOf(ProcId pid) const
+{
+    clio_assert(sharded_, "home directory only exists in sharded mode");
+    clio_assert(pid < pid_home_mn_.size() &&
+                    pid_home_mn_[pid] != kNoOwner,
+                "pid %u has no directory entry", pid);
+    return pid_home_mn_[pid];
+}
+
 ClioClient &
 Cluster::createClient(std::uint32_t cn_index)
 {
     const ProcId pid = next_pid_++;
-    const std::uint32_t home = rr_next_mn_;
-    rr_next_mn_ = (rr_next_mn_ + 1) % mns_.size();
+    std::uint32_t home;
+    if (sharded_) {
+        // Shard-map placement: a process' home MN is the ring owner
+        // of its key, preferring an MN in the CN's own rack (§4.7
+        // scaled out). The directory keeps 4 bytes per process.
+        const RackId rack = net_.rackOf(cns_.at(cn_index)->nodeId());
+        home = shard_map_.ownerNear(pid, 0, rack);
+        if (pid >= pid_home_mn_.size()) {
+            pid_home_mn_.resize(
+                std::max<std::size_t>(pid + 1, pid_home_mn_.size() * 2),
+                kNoOwner);
+        }
+        pid_home_mn_[pid] = home;
+    } else {
+        home = rr_next_mn_;
+        rr_next_mn_ = (rr_next_mn_ + 1) % mns_.size();
+    }
     auto client = std::make_unique<ClioClient>(
         cn(cn_index), pid, mns_[home]->nodeId());
-    if (mns_.size() > 1) {
+    if (sharded_) {
+        // Every allocation of the pid lands on its directory MN (a
+        // migration rewrites routing via redirectRegion, not here).
+        client->setAllocPlacement([this, pid](std::uint64_t) {
+            return mns_[pid_home_mn_[pid]]->nodeId();
+        });
+    } else if (mns_.size() > 1) {
         // Place new allocations on the least-pressured MN (§4.7).
-        ClioClient *raw = client.get();
-        client->setAllocPlacement([this, raw](std::uint64_t) {
-            (void)raw;
+        client->setAllocPlacement([this](std::uint64_t) {
             return mns_[leastPressuredMn()]->nodeId();
         });
     }
@@ -80,13 +143,65 @@ Cluster::createSharedClient(std::uint32_t cn_index,
     auto client = std::make_unique<ClioClient>(
         cn(cn_index), base.pid(), base.mnFor(0));
     client->copyRoutingFrom(base);
-    if (mns_.size() > 1) {
+    if (sharded_) {
+        const ProcId pid = base.pid();
+        client->setAllocPlacement([this, pid](std::uint64_t) {
+            return mns_[pid_home_mn_[pid]]->nodeId();
+        });
+    } else if (mns_.size() > 1) {
         client->setAllocPlacement([this](std::uint64_t) {
             return mns_[leastPressuredMn()]->nodeId();
         });
     }
     clients_.push_back(std::move(client));
     return *clients_.back();
+}
+
+std::uint64_t &
+Cluster::nextRegionSlot(ProcId pid)
+{
+    // App pids are sequential from 1 (flat vector); offload pids live
+    // at 0xF0000000+ and overflow into the side map.
+    constexpr ProcId kDirectLimit = 1u << 28;
+    if (pid < kDirectLimit) {
+        if (pid >= next_region_.size()) {
+            next_region_.resize(
+                std::max<std::size_t>(pid + 1, next_region_.size() * 2),
+                0);
+        }
+        return next_region_[pid];
+    }
+    return next_region_overflow_[pid];
+}
+
+std::uint64_t
+Cluster::nextRegionOf(ProcId pid) const
+{
+    constexpr ProcId kDirectLimit = 1u << 28;
+    if (pid < kDirectLimit)
+        return pid < next_region_.size() ? next_region_[pid] : 0;
+    auto it = next_region_overflow_.find(pid);
+    return it != next_region_overflow_.end() ? it->second : 0;
+}
+
+std::uint32_t
+Cluster::regionOwnerIdx(ProcId pid, VirtAddr region_start) const
+{
+    auto it = region_owner_.find({pid, region_start});
+    if (it != region_owner_.end())
+        return it->second;
+    if (!sharded_)
+        return kNoOwner;
+    // Prediction: any granted, unmigrated region belongs to the pid's
+    // directory home MN.
+    const std::uint64_t region = cfg_.dist.region_size;
+    const std::uint64_t idx = region_start / region;
+    if (idx == 0 || idx >= nextRegionOf(pid) ||
+        region_start % region != 0)
+        return kNoOwner;
+    if (pid >= pid_home_mn_.size() || pid_home_mn_[pid] == kNoOwner)
+        return kNoOwner;
+    return pid_home_mn_[pid];
 }
 
 bool
@@ -97,12 +212,27 @@ Cluster::grantWindows(ProcId pid, std::uint32_t mn_idx,
     const std::uint64_t count =
         std::max<std::uint64_t>(1, (min_bytes + region - 1) / region);
     // Region index 0 is skipped so that VA 0 stays unused.
-    std::uint64_t &next = next_region_.try_emplace(pid, 1).first->second;
+    std::uint64_t &next = nextRegionSlot(pid);
+    if (next == 0)
+        next = 1;
     const VirtAddr start = next * region;
     next += count;
     mns_[mn_idx]->vaAllocator().addWindow(pid, start, count * region);
-    for (std::uint64_t j = 0; j < count; j++)
-        region_owner_[{pid, start + j * region}] = mn_idx;
+    if (sharded_) {
+        // O(1) controller state per process: the directory predicts
+        // the owner; only off-home grants (replication targets,
+        // offload RASes) need explicit entries.
+        const std::uint32_t home = pid < pid_home_mn_.size()
+                                       ? pid_home_mn_[pid]
+                                       : kNoOwner;
+        if (mn_idx != home) {
+            for (std::uint64_t j = 0; j < count; j++)
+                region_owner_[{pid, start + j * region}] = mn_idx;
+        }
+    } else {
+        for (std::uint64_t j = 0; j < count; j++)
+            region_owner_[{pid, start + j * region}] = mn_idx;
+    }
     return true;
 }
 
@@ -118,17 +248,16 @@ Cluster::migrateRegion(ProcId pid, std::uint32_t src_mn,
     const std::uint64_t region = cfg_.dist.region_size;
     if (region_start == 0) {
         // Pick the first region of this pid owned by src_mn.
-        for (const auto &[key, owner] : region_owner_) {
-            if (key.first == pid && owner == src_mn) {
-                region_start = key.second;
+        for (std::uint64_t idx = 1; idx < nextRegionOf(pid); idx++) {
+            if (regionOwnerIdx(pid, idx * region) == src_mn) {
+                region_start = idx * region;
                 break;
             }
         }
         if (region_start == 0)
             return report; // nothing to migrate
     }
-    auto owner_it = region_owner_.find({pid, region_start});
-    if (owner_it == region_owner_.end() || owner_it->second != src_mn)
+    if (regionOwnerIdx(pid, region_start) != src_mn)
         return report;
 
     // Choose the least pressured destination other than the source.
@@ -201,8 +330,10 @@ Cluster::migrateRegion(ProcId pid, std::uint32_t src_mn,
         }
     }
 
-    // Controller bookkeeping + push routing updates to clients.
-    owner_it->second = dst_mn;
+    // Controller bookkeeping + push routing updates to clients. In
+    // sharded mode this creates the region's exception entry (it no
+    // longer matches the directory prediction).
+    region_owner_[{pid, region_start}] = dst_mn;
     for (auto &client : clients_) {
         if (client->pid() == pid)
             client->redirectRegion(region_start, region, dst.nodeId());
@@ -227,15 +358,24 @@ Cluster::balancePressure()
     const double limit = 1.0 - cfg_.dist.pressure_threshold;
     for (std::uint32_t i = 0; i < mns_.size(); i++) {
         while (mns_[i]->memoryPressure() > limit) {
-            // Migrate any region with data away from the hot MN.
+            // Migrate any region with data away from the hot MN. The
+            // exception map alone is not enough in sharded mode (most
+            // regions are only predicted), so walk each client's pid.
             MigrationReport done;
-            for (const auto &[key, owner] : region_owner_) {
-                if (owner != i)
-                    continue;
-                done = migrateRegion(key.first, i, key.second);
-                if (done.ok && done.pages_moved > 0)
+            for (const auto &client : clients_) {
+                const ProcId pid = client->pid();
+                const std::uint64_t region = cfg_.dist.region_size;
+                for (std::uint64_t idx = 1; idx < nextRegionOf(pid);
+                     idx++) {
+                    if (regionOwnerIdx(pid, idx * region) != i)
+                        continue;
+                    done = migrateRegion(pid, i, idx * region);
+                    if (done.ok && done.pages_moved > 0)
+                        break;
+                    done = MigrationReport{};
+                }
+                if (done.ok)
                     break;
-                done = MigrationReport{};
             }
             if (!done.ok)
                 break; // nothing movable

@@ -23,11 +23,28 @@
 #include "cboard/cboard.hh"
 #include "clib/client.hh"
 #include "clib/cnode.hh"
+#include "cluster/shard_map.hh"
 #include "net/network.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 
 namespace clio {
+
+/**
+ * Multi-rack cluster geometry. Each rack gets its own ToR (leaf)
+ * switch; racks are joined through the spine (see net/network.hh).
+ * With racks == 1 the fabric degenerates to the single-ToR testbed.
+ */
+struct ClusterSpec
+{
+    std::uint32_t racks = 1;
+    std::uint32_t cns_per_rack = 1;
+    std::uint32_t mns_per_rack = 1;
+    /** Per-MN DRAM (0 = config default 2 GB). */
+    std::uint64_t mn_phys_bytes = 0;
+    /** Consistent-hash ring points per MN (shard map smoothness). */
+    std::uint32_t shard_vnodes = 64;
+};
 
 /** Result of one region migration (bench/reporting). */
 struct MigrationReport
@@ -46,10 +63,22 @@ class Cluster
 {
   public:
     /**
+     * Single-rack cluster with the controller's original
+     * least-pressured allocation placement.
      * @param mn_phys_bytes per-MN DRAM (0 = config default 2 GB).
      */
     Cluster(const ModelConfig &cfg, std::uint32_t num_cns,
             std::uint32_t num_mns, std::uint64_t mn_phys_bytes = 0);
+
+    /**
+     * Multi-rack sharded cluster: nodes are spread over spec.racks
+     * racks, and processes are placed over MNs by the consistent-hash
+     * shard map with rack-aware preference (a process' home MN is
+     * usually in its CN's rack). Region ownership is predicted by the
+     * ring + the per-pid directory; only migrations create explicit
+     * per-region entries — per-process controller state stays O(1).
+     */
+    Cluster(const ModelConfig &cfg, const ClusterSpec &spec);
 
     EventQueue &eventQueue() { return eq_; }
     Network &network() { return net_; }
@@ -66,6 +95,12 @@ class Cluster
 
     /** MN index of a network node id (panics for CN ids). */
     std::uint32_t mnIndexOf(NodeId node) const;
+
+    /** Shard map in use (empty for single-rack legacy clusters). */
+    const ShardMap &shardMap() const { return shard_map_; }
+
+    /** Home MN index the directory assigned to `pid` (sharded mode). */
+    std::uint32_t homeMnOf(ProcId pid) const;
 
     /**
      * Create an application process on CN `cn_index` with a fresh
@@ -117,6 +152,21 @@ class Cluster
     /** Least-pressured MN index. */
     std::uint32_t leastPressuredMn() const;
 
+    /** Wire up an MN's windowed-mode hooks (both constructors). */
+    void attachMnHooks(std::uint32_t mn_idx, bool windowed);
+
+    /** Per-pid next free coarse-region index slot (see next_region_). */
+    std::uint64_t &nextRegionSlot(ProcId pid);
+    /** Read-only peek of the same (0 = pid has no regions yet). */
+    std::uint64_t nextRegionOf(ProcId pid) const;
+
+    /** No MN owns the region (unknown pid/region). */
+    static constexpr std::uint32_t kNoOwner = ~0u;
+    /** Owning MN index of one granted region: the exception map, else
+     * (sharded) the pid's directory home — kNoOwner when the region
+     * was never granted. */
+    std::uint32_t regionOwnerIdx(ProcId pid, VirtAddr region_start) const;
+
     ModelConfig cfg_;
     EventQueue eq_;
     Network net_;
@@ -127,10 +177,25 @@ class Cluster
     ProcId next_pid_ = 1;
     std::uint32_t rr_next_mn_ = 0;
 
-    /** Controller state: per-pid next free coarse-region index. */
-    std::map<ProcId, std::uint64_t> next_region_;
-    /** (pid, region_start) -> owning MN index. */
+    /** Controller state: per-pid next free coarse-region index, a
+     * flat vector indexed by the (sequential) pid — 8 bytes per
+     * process instead of a map node. 0 means unassigned; real indices
+     * start at 1 so VA 0 stays unused. Offload pids (0xF0000000+)
+     * overflow into the side map. */
+    std::vector<std::uint64_t> next_region_;
+    std::map<ProcId, std::uint64_t> next_region_overflow_;
+    /** (pid, region_start) -> owning MN index. In sharded mode this
+     * holds only EXCEPTIONS (migrated regions); everything else is
+     * predicted by the per-pid directory, keeping region state O(1)
+     * per process. Legacy mode records every grant here. */
     std::map<std::pair<ProcId, VirtAddr>, std::uint32_t> region_owner_;
+
+    /** @{ Sharded (multi-rack) placement state. */
+    bool sharded_ = false;
+    ShardMap shard_map_;
+    /** Directory: pid -> home MN index (4 bytes per process). */
+    std::vector<std::uint32_t> pid_home_mn_;
+    /** @} */
 };
 
 } // namespace clio

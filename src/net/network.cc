@@ -7,21 +7,46 @@
 namespace clio {
 
 Network::Network(EventQueue &eq, const NetConfig &cfg, std::uint64_t seed)
-    : eq_(eq), cfg_(cfg), rng_(seed)
+    : eq_(eq), cfg_(cfg), rng_(seed),
+      agg_ticks_per_byte_(ticksPerByte(cfg.agg_bandwidth_bps))
 {
 }
 
 NodeId
-Network::addNode(RxHandler rx, std::uint64_t link_bandwidth_bps)
+Network::addNode(RxHandler rx, std::uint64_t link_bandwidth_bps,
+                 RackId rack)
 {
+    clio_assert(rack < 4096, "implausible rack id %u", rack);
     const NodeId id = static_cast<NodeId>(ports_.size());
     Port port;
     port.rx = std::move(rx);
     port.bandwidth_bps = link_bandwidth_bps ? link_bandwidth_bps
                                             : cfg_.link_bandwidth_bps;
     port.ticks_per_byte = ticksPerByte(port.bandwidth_bps);
+    port.rack = rack;
     ports_.push_back(std::move(port));
+    if (rack >= racks_.size())
+        racks_.resize(rack + 1);
     return id;
+}
+
+void
+Network::lazyDrain(Stage &stage, Tick now)
+{
+    while (!stage.drain.empty() && stage.drain.front() <= now)
+        stage.drain.pop_front();
+}
+
+Tick
+Network::admitTime(const Stage &stage, std::uint32_t cap, Tick now)
+{
+    const std::size_t depth = stage.drain.size();
+    if (depth < cap)
+        return now;
+    // With `depth` packets committed and room for `cap`, this packet
+    // may occupy the queue once the (depth - cap + 1)-th departure has
+    // happened — i.e. at drain[depth - cap] (0-indexed, FIFO order).
+    return std::max(now, stage.drain[depth - cap]);
 }
 
 void
@@ -34,12 +59,44 @@ Network::send(Packet pkt)
 
     Port &src = ports_[pkt.src];
     Port &dst = ports_[pkt.dst];
+    const Tick now = eq_.now();
+    const bool cross_rack = src.rack != dst.rack;
+    Rack *src_rack = cross_rack ? &racks_[src.rack] : nullptr;
+    Rack *dst_rack = cross_rack ? &racks_[dst.rack] : nullptr;
+
+    // Refresh the occupancy of every stage on the packet's path:
+    // departures that already happened free their queue slots.
+    lazyDrain(dst.out, now);
+    if (cross_rack) {
+        lazyDrain(src_rack->up, now);
+        lazyDrain(dst_rack->down, now);
+    }
+
+    // --- Lossless (PFC-like) back-pressure: if any output queue on
+    // the path is full, the packet is held at the source NIC until a
+    // slot will have freed — tx_start is delayed, queues stay bounded.
+    Tick hold = now;
+    if (cfg_.lossless) {
+        hold = std::max(
+            hold, admitTime(dst.out, cfg_.switch_queue_packets, now));
+        if (cross_rack) {
+            hold = std::max(
+                hold,
+                admitTime(src_rack->up, cfg_.agg_queue_packets, now));
+            hold = std::max(
+                hold,
+                admitTime(dst_rack->down, cfg_.agg_queue_packets, now));
+        }
+        if (hold > now) {
+            stats_.pfc_stalls++;
+            stats_.pfc_stall_ticks += hold - now;
+        }
+    }
 
     // --- Source NIC egress: serialize onto the host link. ---
-    const Tick now = eq_.now();
     const Tick ser =
         static_cast<Tick>(pkt.wire_bytes) * src.ticks_per_byte;
-    const Tick tx_start = std::max(now, src.tx_free);
+    const Tick tx_start = std::max(hold, src.tx_free);
     const Tick tx_done = tx_start + ser;
     src.tx_free = tx_done;
 
@@ -53,23 +110,75 @@ Network::send(Packet pkt)
         stats_.corrupted++;
     }
 
-    // --- Switch output port toward the destination. ---
-    const Tick at_switch = tx_done + cfg_.link_propagation;
+    // --- Aggregation hops (only when src and dst racks differ). ---
+    // source ToR -> uplink serialization -> spine -> downlink
+    // serialization -> destination ToR. Queue occupancy at each hop
+    // lasts until that hop's departure (out_done), drained lazily.
+    Tick at_dst_tor = tx_done + cfg_.link_propagation;
+    if (cross_rack) {
+        stats_.cross_rack++;
+        const Tick agg_ser =
+            static_cast<Tick>(pkt.wire_bytes) * agg_ticks_per_byte_;
+
+        // Uplink of the source rack toward the spine.
+        if (!cfg_.lossless &&
+            src_rack->up.drain.size() >= cfg_.agg_queue_packets) {
+            stats_.dropped_agg_queue++;
+            return;
+        }
+        const Tick up_start = std::max(at_dst_tor, src_rack->up.free);
+        src_rack->up.free = up_start + agg_ser;
+        const Tick up_done = up_start + agg_ser + cfg_.switch_latency;
+        src_rack->up.drain.push_back(up_done);
+
+        // Spine output toward the destination rack (its downlink).
+        const Tick at_spine = up_done + cfg_.agg_link_propagation;
+        if (!cfg_.lossless &&
+            dst_rack->down.drain.size() >= cfg_.agg_queue_packets) {
+            stats_.dropped_agg_queue++;
+            return;
+        }
+        const Tick down_start = std::max(at_spine, dst_rack->down.free);
+        dst_rack->down.free = down_start + agg_ser;
+        const Tick down_done =
+            down_start + agg_ser + cfg_.spine_latency;
+        dst_rack->down.drain.push_back(down_done);
+
+        at_dst_tor = down_done + cfg_.agg_link_propagation;
+    }
+
+    // --- Destination ToR output port toward the destination node. ---
     const Tick out_ser =
         static_cast<Tick>(pkt.wire_bytes) * dst.ticks_per_byte;
-    const Tick out_start = std::max(at_switch, dst.switch_out_free);
+    const Tick out_start = std::max(at_dst_tor, dst.out.free);
 
-    // Queue occupancy check (incast drops unless lossless).
-    if (dst.queue_depth >= cfg_.switch_queue_packets && !cfg_.lossless) {
+    // Queue occupancy check (incast tail-drop; lossless mode already
+    // delayed tx_start above so the queue is guaranteed to have room).
+    if (!cfg_.lossless &&
+        dst.out.drain.size() >= cfg_.switch_queue_packets) {
         stats_.dropped_queue++;
         return;
     }
-    dst.queue_depth++;
     // The forwarding latency is pipelined: it delays the packet but
     // does not occupy the output port.
-    dst.switch_out_free = out_start + out_ser;
-    const Tick out_done =
-        out_start + out_ser + cfg_.switch_latency;
+    dst.out.free = out_start + out_ser;
+    const Tick out_done = out_start + out_ser + cfg_.switch_latency;
+    // The packet occupies the output queue until its last byte leaves
+    // the port (out_done) — NOT until delivery, which additionally
+    // includes the final link propagation plus jitter/reorder delay.
+    dst.out.drain.push_back(out_done);
+    // Physical occupancy when this packet's bytes reach the queue:
+    // committed packets still present at `at_dst_tor` (drain is sorted,
+    // FIFO). Bounded by the queue capacity in BOTH modes — in lossless
+    // mode because the admission delay above guarantees enough
+    // predecessors have departed by the time the packet arrives.
+    const auto still_queued = dst.out.drain.end() -
+                              std::upper_bound(dst.out.drain.begin(),
+                                               dst.out.drain.end(),
+                                               at_dst_tor);
+    stats_.peak_queue_depth =
+        std::max(stats_.peak_queue_depth,
+                 static_cast<std::uint32_t>(still_queued));
 
     // --- Final hop to the destination NIC. ---
     Tick deliver = out_done + cfg_.link_propagation;
@@ -85,8 +194,6 @@ Network::send(Packet pkt)
     const NodeId dst_id = pkt.dst;
     eq_.schedule(deliver, [this, dst_id, pkt = std::move(pkt)]() mutable {
         Port &port = ports_[dst_id];
-        clio_assert(port.queue_depth > 0, "queue accounting underflow");
-        port.queue_depth--;
         stats_.delivered++;
         stats_.bytes_delivered += pkt.wire_bytes;
         if (port.rx)
@@ -95,13 +202,18 @@ Network::send(Packet pkt)
 }
 
 Tick
-Network::ingressBacklog(NodeId node) const
+Network::switchEgressBacklog(NodeId node) const
 {
     clio_assert(node < ports_.size(), "unknown node");
     const Port &port = ports_[node];
-    return port.switch_out_free > eq_.now()
-               ? port.switch_out_free - eq_.now()
-               : 0;
+    return port.out.free > eq_.now() ? port.out.free - eq_.now() : 0;
+}
+
+RackId
+Network::rackOf(NodeId node) const
+{
+    clio_assert(node < ports_.size(), "unknown node");
+    return ports_[node].rack;
 }
 
 } // namespace clio

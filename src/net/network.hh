@@ -1,19 +1,42 @@
 /**
  * @file
- * Datacenter network model: nodes with full-duplex links to one ToR
- * switch (§3.2's topology: CNs and CBoards all connect to a ToR).
+ * Datacenter network model: a two-tier leaf/spine fabric.
+ *
+ * Every node (CN NIC or CBoard port) belongs to one rack and connects
+ * to that rack's ToR (leaf) switch by a full-duplex link. Racks are
+ * joined by aggregation links to a spine: a cross-rack packet
+ * traverses source ToR -> uplink -> spine -> downlink -> destination
+ * ToR, paying serialization and bounded queueing at each hop. With
+ * every node in rack 0 (the default) no aggregation hop exists and
+ * the model degenerates to the paper's single-ToR topology (§3.2:
+ * CNs and CBoards all connect to one ToR).
  *
  * The model captures the effects the paper's transport design reacts
  * to: per-link serialization (bandwidth), propagation and switching
- * delay, output-queue contention at the switch (incast!), random
- * loss/corruption/reordering for fault injection, and optional
+ * delay, output-queue contention at every switch stage (incast!),
+ * random loss/corruption/reordering for fault injection, and optional
  * lossless (PFC-like) back-pressure instead of tail drop.
+ *
+ * Queue accounting: a packet occupies a switch output queue from its
+ * admission until `out_done` — the instant its last byte leaves the
+ * output port — NOT until delivery (which additionally includes the
+ * final link propagation plus jitter/reorder delay). Occupancy is
+ * kept as a per-stage deque of departure times drained lazily, which
+ * is equivalent to scheduling one drain event per packet at its
+ * `out_done` without the event overhead.
+ *
+ * Lossless (PFC-like) mode is bounded-queue back-pressure: when an
+ * output queue along the path is full at submission time, the packet
+ * is held at the source NIC (its `tx_start` is delayed) until the
+ * queue has room; stalls are counted in NetStats. Queues never grow
+ * unbounded in either mode.
  */
 
 #ifndef CLIO_NET_NETWORK_HH
 #define CLIO_NET_NETWORK_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <vector>
 
@@ -31,13 +54,25 @@ struct NetStats
     std::uint64_t sent = 0;
     std::uint64_t delivered = 0;
     std::uint64_t dropped_random = 0;
-    std::uint64_t dropped_queue = 0;
+    std::uint64_t dropped_queue = 0;     ///< ToR output tail drops
+    std::uint64_t dropped_agg_queue = 0; ///< uplink/downlink tail drops
     std::uint64_t corrupted = 0;
     std::uint64_t reordered = 0;
     std::uint64_t bytes_delivered = 0;
+    /** Packets that crossed the spine (src and dst in different racks). */
+    std::uint64_t cross_rack = 0;
+    /** Lossless mode: sends whose tx_start was delayed because an
+     * output queue along the path was full (PFC-like back-pressure). */
+    std::uint64_t pfc_stalls = 0;
+    /** Total ticks of back-pressure delay added to tx_start. */
+    std::uint64_t pfc_stall_ticks = 0;
+    /** Peak ToR output-queue occupancy observed at any packet's
+     * arrival at the queue; never exceeds switch_queue_packets in
+     * either mode (lossless admission delay / lossy tail drop). */
+    std::uint32_t peak_queue_depth = 0;
 };
 
-/** The ToR-switched network connecting every node of a cluster. */
+/** The leaf/spine-switched network connecting every node of a cluster. */
 class Network
 {
   public:
@@ -49,19 +84,37 @@ class Network
      * Attach a node; returns its NodeId.
      * @param rx   ingress handler invoked at delivery time.
      * @param link_bandwidth_bps 0 = use the config default.
+     * @param rack rack (leaf switch) the node's link terminates at.
      */
-    NodeId addNode(RxHandler rx, std::uint64_t link_bandwidth_bps = 0);
+    NodeId addNode(RxHandler rx, std::uint64_t link_bandwidth_bps = 0,
+                   RackId rack = 0);
 
     /**
      * Transmit a packet from pkt.src to pkt.dst. Serialization starts
-     * when the source link is free; delivery happens via the event
-     * queue after switch traversal (or never, if dropped).
+     * when the source link is free (and, in lossless mode, when every
+     * output queue along the path has room); delivery happens via the
+     * event queue after switch traversal (or never, if dropped).
      */
     void send(Packet pkt);
 
-    /** Estimated queueing backlog of a node's ingress link, in ticks
-     * (diagnostic / congestion-observability hook). */
-    Tick ingressBacklog(NodeId node) const;
+    /**
+     * Estimated backlog, in ticks, of the ToR output port that feeds
+     * `node`'s ingress link — i.e. how far ahead of now that port's
+     * egress is booked (diagnostic / congestion-observability hook).
+     * This measures contention at the switch output, not load on the
+     * node's own egress link.
+     */
+    Tick switchEgressBacklog(NodeId node) const;
+
+    /** Rack of a node. */
+    RackId rackOf(NodeId node) const;
+
+    /** Number of racks seen so far (max rack id + 1; >= 1). */
+    std::uint32_t rackCount() const
+    {
+        return static_cast<std::uint32_t>(racks_.size() ? racks_.size()
+                                                        : 1);
+    }
 
     const NetStats &stats() const { return stats_; }
     void resetStats() { stats_ = NetStats{}; }
@@ -69,6 +122,22 @@ class Network
     const NetConfig &config() const { return cfg_; }
 
   private:
+    /**
+     * One switch output stage (a ToR output port, a rack uplink, or a
+     * rack downlink): when its egress is next idle, plus the departure
+     * times of every packet committed to it and not yet departed.
+     * `drain.size()` IS the committed occupancy; entries <= now are
+     * popped lazily (equivalent to a drain event at each out_done).
+     */
+    struct Stage
+    {
+        /** When the stage's egress link becomes idle. */
+        Tick free = 0;
+        /** Departure (out_done) times of committed packets, FIFO.
+         * Non-decreasing because egress serialization is FIFO. */
+        std::deque<Tick> drain;
+    };
+
     struct Port
     {
         RxHandler rx;
@@ -78,16 +147,31 @@ class Network
         Tick ticks_per_byte;
         /** When the node's egress link becomes idle. */
         Tick tx_free = 0;
-        /** When the switch's output link toward this node is idle. */
-        Tick switch_out_free = 0;
-        /** Packets currently queued at the switch output. */
-        std::uint32_t queue_depth = 0;
+        RackId rack = 0;
+        /** The ToR output port toward this node. */
+        Stage out;
     };
+
+    /** Leaf<->spine plumbing of one rack. */
+    struct Rack
+    {
+        Stage up;   ///< leaf -> spine aggregation link
+        Stage down; ///< spine -> leaf aggregation link
+    };
+
+    /** Pop departures that already happened (occupancy bookkeeping). */
+    static void lazyDrain(Stage &stage, Tick now);
+    /** Earliest time `stage` (capacity `cap`) has room for one more
+     * committed packet; `now` when it already has room. */
+    static Tick admitTime(const Stage &stage, std::uint32_t cap,
+                          Tick now);
 
     EventQueue &eq_;
     NetConfig cfg_;
     Rng rng_;
+    Tick agg_ticks_per_byte_;
     std::vector<Port> ports_;
+    std::vector<Rack> racks_;
     NetStats stats_;
 };
 

@@ -88,8 +88,24 @@ struct NetConfig
      * drop) unless lossless mode absorbs it. */
     std::uint32_t switch_queue_packets = 256;
     /** Lossless (PFC-like) mode: full queues back-pressure instead of
-     * dropping. */
+     * dropping (tx_start is delayed until the path has room). */
     bool lossless = true;
+
+    /** @{ Multi-rack (leaf/spine) topology. These only matter when
+     * nodes are spread across racks; the default single-rack cluster
+     * never touches an aggregation link and degenerates to the
+     * paper's one-ToR testbed (§3.2). */
+    /** Leaf<->spine aggregation link bandwidth (uplinks are faster
+     * than host links, 4:1 here like common 10G/40G fabrics). */
+    std::uint64_t agg_bandwidth_bps = 40ull * 1000 * 1000 * 1000;
+    /** One-way propagation delay of an aggregation link (longer runs
+     * than the in-rack NIC-to-ToR cabling). */
+    Tick agg_link_propagation = 500 * kNanosecond;
+    /** Spine switch forwarding latency. */
+    Tick spine_latency = 150 * kNanosecond;
+    /** Output queue capacity of each uplink/downlink, in packets. */
+    std::uint32_t agg_queue_packets = 1024;
+    /** @} */
 };
 
 /** CN-side CLib + transport, §4.4/§5. */

@@ -48,6 +48,9 @@ using ProcId = std::uint32_t;
 /** Node identifiers within a cluster. */
 using NodeId = std::uint32_t;
 
+/** Rack (leaf/ToR switch) identifier within a multi-rack cluster. */
+using RackId = std::uint32_t;
+
 /** Request identifier assigned by CLib; a retry gets a fresh one (§4.5). */
 using ReqId = std::uint64_t;
 

@@ -106,6 +106,63 @@ dumpStats(const char *tag, std::uint64_t seed, const RunResult &r)
     std::fclose(f);
 }
 
+/**
+ * Multi-rack variant: a 3-rack sharded cluster under the same fault
+ * injection, with one shared client forcing cross-spine traffic, so
+ * the aggregation-hop code paths are covered by the byte-compare too.
+ */
+RunResult
+runMultiRackWorkload(std::uint64_t seed)
+{
+    auto cfg = ModelConfig::prototype();
+    cfg.seed = seed;
+    cfg.net.loss_rate = 0.05;
+    cfg.net.corrupt_rate = 0.03;
+    cfg.net.reorder_rate = 0.15;
+    cfg.clib.max_retries = 10;
+    ClusterSpec spec;
+    spec.racks = 3;
+    spec.cns_per_rack = 1;
+    spec.mns_per_rack = 1;
+    Cluster cluster(cfg, spec);
+    ClioClient &a = cluster.createClient(0);
+    ClioClient &b = cluster.createClient(1);
+    // A rack-2 process in rack 0's RAS: every one of its ops crosses
+    // the spine.
+    ClioClient &far = cluster.createSharedClient(2, a);
+
+    const VirtAddr pa = a.ralloc(16 * MiB).value_or(0);
+    const VirtAddr pb = b.ralloc(16 * MiB).value_or(0);
+
+    RunResult out;
+    Rng rng(seed * 5 + 3);
+    for (int i = 0; i < 120; i++) {
+        ClioClient &client =
+            (i % 4 == 0) ? far : ((i % 3 == 0) ? b : a);
+        const VirtAddr base = (i % 3 == 0 && i % 4 != 0) ? pb : pa;
+        const VirtAddr at = base + rng.uniformInt(8 * MiB);
+        std::uint64_t value = rng.next();
+        const Tick t0 = cluster.eventQueue().now();
+        if (rng.chance(0.5)) {
+            client.rwrite(at, &value, 8);
+        } else {
+            client.rread(at, &value, 8);
+        }
+        out.latencies.push_back(cluster.eventQueue().now() - t0);
+    }
+    out.final_data.resize(64 * KiB);
+    a.rread(pa, out.final_data.data(), out.final_data.size());
+    for (std::uint32_t cn = 0; cn < cluster.cnCount(); cn++) {
+        out.retries += cluster.cn(cn).stats().retries;
+        out.nacks += cluster.cn(cn).stats().nacks;
+    }
+    out.reordered = cluster.network().stats().reordered;
+    for (std::uint32_t mn = 0; mn < cluster.mnCount(); mn++)
+        out.page_faults += cluster.mn(mn).stats().page_faults;
+    out.end_time = cluster.eventQueue().now();
+    return out;
+}
+
 TEST(Determinism, IdenticalSeedsIdenticalRuns)
 {
     const std::uint64_t seed = defaultSeed(1234);
@@ -128,6 +185,21 @@ TEST(Determinism, DifferentSeedsDiverge)
     const RunResult r2 = runWorkload(seed + 4444);
     // Fault injection differs, so the timing trace must differ.
     EXPECT_NE(r1.latencies, r2.latencies);
+}
+
+TEST(Determinism, MultiRackIdenticalSeedsIdenticalRuns)
+{
+    const std::uint64_t seed = defaultSeed(4321);
+    const RunResult r1 = runMultiRackWorkload(seed);
+    const RunResult r2 = runMultiRackWorkload(seed);
+    dumpStats("multirack", seed, r1);
+    EXPECT_EQ(r1.final_data, r2.final_data);
+    EXPECT_EQ(r1.retries, r2.retries);
+    EXPECT_EQ(r1.nacks, r2.nacks);
+    EXPECT_EQ(r1.reordered, r2.reordered);
+    EXPECT_EQ(r1.page_faults, r2.page_faults);
+    EXPECT_EQ(r1.end_time, r2.end_time);
+    EXPECT_EQ(r1.latencies, r2.latencies);
 }
 
 TEST(Determinism, FaultInjectionActuallyFired)

@@ -97,7 +97,7 @@ TEST(Network, LossAndCorruptionStatistics)
     EXPECT_NEAR(corrupted, 0.2 * received, 80);
 }
 
-TEST(Network, IngressBacklogVisible)
+TEST(Network, SwitchEgressBacklogVisible)
 {
     EventQueue eq;
     Network net(eq, quietNet(), 1);
@@ -105,9 +105,71 @@ TEST(Network, IngressBacklogVisible)
     NodeId b = net.addNode([](Packet) {});
     for (int i = 0; i < 10; i++)
         net.send(makePacket(a, b, 1500, static_cast<ReqId>(i)));
-    EXPECT_GT(net.ingressBacklog(b), 0u);
+    EXPECT_GT(net.switchEgressBacklog(b), 0u);
     eq.runAll();
-    EXPECT_EQ(net.ingressBacklog(b), 0u);
+    EXPECT_EQ(net.switchEgressBacklog(b), 0u);
+}
+
+// Regression: a queue slot is freed when the packet's last byte
+// leaves the switch output port (out_done), NOT at delivery. The old
+// accounting held the slot through the final link propagation plus
+// the (here: huge) reorder delay, so a paced stream far below the
+// port rate still tail-dropped on a small queue.
+TEST(Network, QueueSlotFreedAtEgressNotAtDelivery)
+{
+    EventQueue eq;
+    auto cfg = quietNet();
+    cfg.lossless = false;
+    cfg.switch_queue_packets = 2;
+    cfg.reorder_rate = 1.0; // every delivery delayed way past out_done
+    cfg.reorder_delay = 500 * kMicrosecond;
+    Network net(eq, cfg, 1);
+    NodeId a = net.addNode(nullptr);
+    NodeId b = net.addNode([](Packet) {});
+
+    // One packet every 5 us: an out_done-accounted queue is empty at
+    // each send (egress takes ~2.7 us), a delivery-accounted one
+    // holds ~100 phantom packets and drops nearly everything.
+    for (int i = 0; i < 50; i++) {
+        const Tick at = static_cast<Tick>(i) * 5 * kMicrosecond;
+        eq.schedule(at, [&net, a, b, i] {
+            net.send(makePacket(a, b, 1500, static_cast<ReqId>(i + 1)));
+        });
+    }
+    eq.runAll();
+    EXPECT_EQ(net.stats().dropped_queue, 0u);
+    EXPECT_EQ(net.stats().delivered, 50u);
+    EXPECT_EQ(net.stats().reordered, 50u);
+}
+
+// Regression: lossless mode is bounded-queue back-pressure, not
+// "skip the drop and let the queue grow". A 4-into-1 incast on a
+// 4-packet queue must (a) stall senders, (b) never exceed the queue
+// bound, (c) still deliver every packet.
+TEST(Network, LosslessBackPressureBoundsQueue)
+{
+    EventQueue eq;
+    auto cfg = quietNet();
+    cfg.lossless = true;
+    cfg.switch_queue_packets = 4;
+    Network net(eq, cfg, 1);
+    std::vector<NodeId> srcs;
+    for (int k = 0; k < 4; k++)
+        srcs.push_back(net.addNode(nullptr));
+    NodeId dst = net.addNode([](Packet) {});
+
+    ReqId id = 1;
+    for (int k = 0; k < 4; k++) {
+        for (int i = 0; i < 25; i++)
+            net.send(makePacket(srcs[k], dst, 1500, id++));
+    }
+    eq.runAll();
+    EXPECT_EQ(net.stats().sent, 100u);
+    EXPECT_EQ(net.stats().delivered, 100u);
+    EXPECT_EQ(net.stats().dropped_queue, 0u);
+    EXPECT_GT(net.stats().pfc_stalls, 0u);
+    EXPECT_GT(net.stats().pfc_stall_ticks, 0u);
+    EXPECT_LE(net.stats().peak_queue_depth, 4u);
 }
 
 TEST(Wire, PacketCountMatchesMtu)
