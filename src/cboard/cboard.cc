@@ -21,8 +21,15 @@ CBoard::CBoard(EventQueue &eq, Network &network, const ModelConfig &cfg,
       dedup_(cfg.dedup.entries),
       async_buffer_(cfg.slow_path.async_buffer_pages)
 {
+    phys_bytes_ = phys_bytes ? phys_bytes : cfg.mn_phys_bytes;
     node_ = net_.addNode([this](Packet pkt) { onPacket(std::move(pkt)); },
                          0, rack);
+    bootstrapAsyncBuffer();
+}
+
+void
+CBoard::bootstrapAsyncBuffer()
+{
     // Boot-time pre-generation: the ARM fills the async buffer before
     // the board starts serving (§4.3). Reservation is capped to a
     // quarter of physical memory so tiny test MNs keep frames
@@ -36,6 +43,66 @@ CBoard::CBoard(EventQueue &eq, Network &network, const ModelConfig &cfg,
         if (!frame)
             break;
         async_buffer_.push(*frame);
+    }
+}
+
+void
+CBoard::crash()
+{
+    if (!alive_)
+        return;
+    alive_ = false;
+    stats_.crashes++;
+    // The pipeline state and inflight reassembly die with the board.
+    inflight_.clear();
+}
+
+void
+CBoard::restart()
+{
+    if (alive_)
+        return;
+    // The board comes back EMPTY: volatile DRAM plus every structure
+    // derived from it is rebuilt from scratch. Anything a client
+    // stored here is gone unless the replication layer kept a copy.
+    memory_ = PhysicalMemory(phys_bytes_);
+    frames_ = FrameAllocator(memory_.capacity(),
+                             cfg_.page_table.page_size);
+    page_table_ = HashPageTable(memory_.capacity(),
+                                cfg_.page_table.page_size,
+                                cfg_.page_table.bucket_slots,
+                                cfg_.page_table.overprovision);
+    tlb_ = Tlb(cfg_.fast_path.tlb_entries);
+    valloc_ = VaAllocator(cfg_.page_table.page_size, 1ull << 46);
+    dedup_ = DedupBuffer(cfg_.dedup.entries);
+    async_buffer_ = AsyncFreePageBuffer(cfg_.slow_path.async_buffer_pages);
+
+    pipeline_free_ = 0;
+    dram_free_ = 0;
+    atomic_free_ = 0;
+    arm_free_ = 0;
+    gate_open_ = 0;
+    last_op_done_ = 0;
+    refill_pending_ = false;
+    refill_done_ = 0;
+    inflight_.clear();
+    packets_since_gc_ = 0;
+    alive_ = true;
+    bootstrapAsyncBuffer();
+
+    // Re-deploy registered offloads into the fresh board, in sorted id
+    // order so restart is deterministic across runs (offloads_ is an
+    // unordered_map).
+    std::vector<std::uint32_t> ids;
+    ids.reserve(offloads_.size());
+    for (const auto &[id, entry] : offloads_)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (const auto id : ids) {
+        OffloadEntry &entry = offloads_[id];
+        entry.engine_free = 0;
+        OffloadVm vm(*this, entry.pid);
+        entry.offload->init(vm);
     }
 }
 
@@ -61,6 +128,8 @@ CBoard::gcInflight()
 void
 CBoard::onPacket(Packet pkt)
 {
+    if (!alive_)
+        return; // crashed board: the port eats the packet silently
     if (++packets_since_gc_ >= 4096) {
         packets_since_gc_ = 0;
         gcInflight();
@@ -87,6 +156,7 @@ CBoard::onPacket(Packet pkt)
             inflight.total_parts = pkt.total_parts;
             inflight.req =
                 std::static_pointer_cast<const RequestMsg>(pkt.msg);
+            inflight.seen_bits.assign((pkt.total_parts + 63) / 64, 0);
             // Dedup check happens once per request (T4): a retried
             // write/atomic whose original executed is suppressed.
             if (pkt.type == MsgType::kWrite ||
@@ -97,6 +167,21 @@ CBoard::onPacket(Packet pkt)
                     (void)*cached;
                 }
             }
+        }
+        // Per-part dedup: a switch-duplicated packet must not count
+        // twice toward total_parts (it would complete the request with
+        // a sibling part missing). Re-execution of whole duplicated
+        // REQUESTS after completion is handled by the dedup buffer.
+        {
+            const std::size_t word = pkt.part >> 6;
+            const std::uint64_t bit = 1ull << (pkt.part & 63);
+            if (word >= inflight.seen_bits.size() ||
+                (inflight.seen_bits[word] & bit)) {
+                stats_.dup_parts_dropped++;
+                inflight.last_seen = eq_.now();
+                break;
+            }
+            inflight.seen_bits[word] |= bit;
         }
         inflight.parts_seen++;
         inflight.last_seen = eq_.now();
@@ -624,6 +709,19 @@ CBoard::extendPathPacket(const Packet &pkt)
     if (inflight.total_parts == 0) {
         inflight.total_parts = pkt.total_parts;
         inflight.req = std::static_pointer_cast<const RequestMsg>(pkt.msg);
+        inflight.seen_bits.assign((pkt.total_parts + 63) / 64, 0);
+    }
+    {
+        // Same per-part dedup as the fast path.
+        const std::size_t word = pkt.part >> 6;
+        const std::uint64_t bit = 1ull << (pkt.part & 63);
+        if (word >= inflight.seen_bits.size() ||
+            (inflight.seen_bits[word] & bit)) {
+            stats_.dup_parts_dropped++;
+            inflight.last_seen = eq_.now();
+            return;
+        }
+        inflight.seen_bits[word] |= bit;
     }
     inflight.parts_seen++;
     inflight.last_seen = eq_.now();

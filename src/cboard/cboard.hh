@@ -67,6 +67,10 @@ struct CBoardStats
     std::uint64_t bytes_read = 0;
     std::uint64_t bytes_written = 0;
     std::uint64_t alloc_retries = 0;
+    /** Times this board was crashed by the failure layer. */
+    std::uint64_t crashes = 0;
+    /** Duplicated request packets dropped by the per-part bitmap. */
+    std::uint64_t dup_parts_dropped = 0;
 };
 
 /** The hardware memory node. */
@@ -172,6 +176,18 @@ class CBoard
     /** Tear down a process: drop VA state, PTEs, frames, TLB entries. */
     void destroyProcess(ProcId pid);
 
+    /** @{ Failure layer (chaos engine). A crashed board ignores every
+     * packet (its port should also be marked down in the Network so
+     * in-flight traffic is dropped); restart() models a board coming
+     * back EMPTY — DRAM, page table, TLB, VA state, dedup buffer, and
+     * watermarks are all reinitialized, registered offloads re-run
+     * init(). Durable state is the replication/controller layer's
+     * problem, exactly like on real hardware. */
+    bool alive() const { return alive_; }
+    void crash();
+    void restart();
+    /** @} */
+
     /** Offload VM access used by OffloadVm (translate + move bytes).
      * @param start the offload's logical time (>= now; an invocation
      *        accumulates cost ahead of the simulation clock).
@@ -193,6 +209,9 @@ class CBoard
         Status status = Status::kOk;
         /** Duplicate write suppressed by the dedup buffer. */
         bool suppressed = false;
+        /** Per-part seen bitmap: switch-duplicated packets (chaos
+         * hook) must not double-count toward total_parts. */
+        std::vector<std::uint64_t> seen_bits;
         /** Old value returned by an atomic. */
         std::uint64_t atomic_result = 0;
         /** Arrival tick of the most recent packet: an abandoned
@@ -238,6 +257,9 @@ class CBoard
     void respondAt(Tick when, NodeId dst, ReqId req_id,
                    std::shared_ptr<ResponseMsg> resp);
 
+    /** Boot-time async-buffer pre-fill (ctor and restart()). */
+    void bootstrapAsyncBuffer();
+
     /** Schedule an async-buffer refill if one is not already pending. */
     void maybeScheduleRefill();
 
@@ -250,6 +272,10 @@ class CBoard
     Network &net_;
     ModelConfig cfg_;
     NodeId node_;
+    /** DRAM capacity, kept so restart() can rebuild the components. */
+    std::uint64_t phys_bytes_ = 0;
+    /** Cleared by crash(), set again by restart(). */
+    bool alive_ = true;
 
     PhysicalMemory memory_;
     FrameAllocator frames_;

@@ -1,0 +1,111 @@
+#include "chaos/linearize.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sim/logging.hh"
+
+namespace clio {
+
+namespace {
+
+/** Search one key's ops for a legal linearization (Wing & Gong). */
+bool
+keyLinearizable(std::vector<HistOp> &ops)
+{
+    const std::size_t n = ops.size();
+    if (n == 0)
+        return true;
+    clio_assert(n <= 64, "per-key history too long for bitmask search");
+
+    // Stable order: candidates are explored lowest-invocation first so
+    // the search (and therefore test behavior) is deterministic.
+    std::sort(ops.begin(), ops.end(), [](const HistOp &a, const HistOp &b) {
+        if (a.invoked != b.invoked)
+            return a.invoked < b.invoked;
+        return a.completed < b.completed;
+    });
+
+    const std::uint64_t all = n == 64 ? ~0ull : (1ull << n) - 1;
+    // Visited (done-mask, register-value) states; re-entering one can
+    // never succeed where the first visit failed.
+    std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+
+    struct Frame
+    {
+        std::uint64_t mask;  ///< done set
+        std::uint64_t value; ///< register value after `mask`
+    };
+    std::vector<Frame> stack;
+    stack.push_back({0, 0});
+
+    while (!stack.empty()) {
+        const Frame f = stack.back();
+        stack.pop_back();
+        if (f.mask == all)
+            return true;
+        if (!seen.insert({f.mask, f.value}).second)
+            continue;
+
+        // Earliest completion among pending ops bounds which ops may
+        // linearize next: anything invoked after it must wait.
+        Tick min_completed = kTickMax;
+        for (std::size_t i = 0; i < n; i++) {
+            if (!(f.mask & (1ull << i)))
+                min_completed =
+                    std::min(min_completed, ops[i].completed);
+        }
+        for (std::size_t i = 0; i < n; i++) {
+            if (f.mask & (1ull << i))
+                continue;
+            const HistOp &op = ops[i];
+            if (op.invoked > min_completed)
+                continue;
+            const std::uint64_t next = f.mask | (1ull << i);
+            if (op.is_write) {
+                if (op.ok) {
+                    stack.push_back({next, op.value});
+                } else {
+                    // Ambiguous write: it may have applied...
+                    stack.push_back({next, op.value});
+                    // ...or been discarded by the crash.
+                    stack.push_back({next, f.value});
+                }
+            } else {
+                if (op.value == f.value)
+                    stack.push_back({next, f.value});
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+LinearizeReport
+checkLinearizable(std::vector<HistOp> history)
+{
+    LinearizeReport report;
+    std::map<std::uint64_t, std::vector<HistOp>> per_key;
+    for (HistOp &op : history) {
+        if (!op.ok) {
+            if (!op.is_write)
+                continue; // failed read: returned nothing, drop it
+            // Failed write: may apply any time after invocation.
+            op.completed = kTickMax;
+        }
+        per_key[op.key].push_back(op);
+    }
+    for (auto &[key, ops] : per_key) {
+        report.ops += ops.size();
+        if (!keyLinearizable(ops)) {
+            report.linearizable = false;
+            report.key = key;
+            return report;
+        }
+    }
+    return report;
+}
+
+} // namespace clio

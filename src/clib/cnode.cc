@@ -67,8 +67,10 @@ CNode::freeSlot(std::uint32_t slot)
     out.sent_at = 0;
     out.retries = 0;
     out.generation = 0;
+    out.last_fail_timeout = false;
     out.resp_parts_seen = 0;
     out.resp_parts_total = 0;
+    out.resp_seen_bits.clear();
     out.resp_corrupted = false;
     out_free_.push_back(slot);
 }
@@ -144,6 +146,7 @@ CNode::transmit(Outstanding &out)
     out.generation++;
     out.resp_parts_seen = 0;
     out.resp_parts_total = 0;
+    out.resp_seen_bits.clear();
     out.resp_corrupted = false;
 
     std::uint64_t payload = 0;
@@ -206,6 +209,7 @@ CNode::handleTimeout(ReqId attempt_id, std::uint64_t generation)
         return; // completed or already retried
     stats_.timeouts++;
     const std::uint32_t slot = it->second;
+    out_slots_[slot].last_fail_timeout = true;
     out_index_.erase(it);
     retry(slot, true);
 }
@@ -235,13 +239,17 @@ CNode::retry(std::uint32_t slot, bool congestion_signal)
     }
     if (out.retries >= cfg_.clib.max_retries) {
         // Give up: surface the failure to the application (§4.5 T4,
-        // "extremely rare").
+        // "extremely rare"). A timeout-caused exhaustion (dead or
+        // unreachable MN) reports kTimeout so callers can distinguish
+        // it from NACK/corruption storms (kRetryExceeded).
+        const Status status = out.last_fail_timeout
+                                  ? Status::kTimeout
+                                  : Status::kRetryExceeded;
         warnMsg(detail::strfmt(
             "CN %u: request %llu to MN %u failed with %s after %u "
             "retries",
             node_, (unsigned long long)out.req->orig_req_id,
-            out.req->dst, to_string(Status::kRetryExceeded),
-            out.retries));
+            out.req->dst, to_string(status), out.retries));
         stats_.failures++;
         PerMn &st = mn_state_[mnIndex(mn)];
         clio_assert(st.inflight > 0, "inflight underflow");
@@ -249,8 +257,8 @@ CNode::retry(std::uint32_t slot, bool congestion_signal)
         iwnd_used_ -= out.expected_resp_bytes;
         const Tick deliver = eq_.now() + cfg_.clib.recv_overhead;
         auto cb = std::move(out.cb);
-        eq_.schedule(deliver, [cb = std::move(cb)] {
-            cb(Status::kRetryExceeded, {}, 0);
+        eq_.schedule(deliver, [cb = std::move(cb), status] {
+            cb(status, {}, 0);
         });
         freeSlot(slot);
         trySend(mn);
@@ -268,7 +276,27 @@ CNode::retry(std::uint32_t slot, bool congestion_signal)
         out_index_.emplace(out.req->req_id, slot);
     clio_assert(inserted, "request id collision");
     (void)it;
-    transmit(out);
+    // Exponential backoff before a timeout-triggered retransmission:
+    // if the MN crashed, hammering it every TIMEOUT only burns wire;
+    // if it is merely congested, spacing retries helps it drain.
+    // NACK/corruption retries (congestion_signal == false) resend
+    // immediately — the MN is alive, only the packet was bad.
+    Tick backoff = 0;
+    if (congestion_signal && cfg_.clib.retry_backoff > 0) {
+        const std::uint32_t k =
+            std::min<std::uint32_t>(out.retries - 1, 16);
+        backoff = std::min<Tick>(cfg_.clib.retry_backoff << k,
+                                 cfg_.clib.slow_op_timeout);
+    }
+    if (backoff == 0) {
+        transmit(out);
+    } else {
+        // Safe: nothing can free or retry this slot before the event
+        // fires — the fresh attempt id has no packets in flight yet
+        // and its timeout is only armed by transmit().
+        eq_.scheduleAfter(backoff,
+                          [this, slot] { transmit(out_slots_[slot]); });
+    }
 }
 
 void
@@ -308,6 +336,7 @@ CNode::onPacket(Packet pkt)
     if (pkt.type == MsgType::kNack) {
         // MN's link layer saw a corrupted packet of our request (§4.4).
         stats_.nacks++;
+        out.last_fail_timeout = false;
         out_index_.erase(it);
         retry(slot, false);
         return;
@@ -318,7 +347,17 @@ CNode::onPacket(Packet pkt)
     if (out.resp_parts_total == 0) {
         out.resp_parts_total = pkt.total_parts;
         out.resp = std::static_pointer_cast<const ResponseMsg>(pkt.msg);
+        out.resp_seen_bits.assign((pkt.total_parts + 63) / 64, 0);
     }
+    // Per-part dedup: a switch-duplicated response packet (chaos hook)
+    // must not double-count toward the reassembly total, or a lost
+    // sibling part would be silently papered over.
+    const std::size_t word = pkt.part >> 6;
+    const std::uint64_t bit = 1ull << (pkt.part & 63);
+    if (word >= out.resp_seen_bits.size() ||
+        (out.resp_seen_bits[word] & bit))
+        return; // duplicate (or malformed part index): already counted
+    out.resp_seen_bits[word] |= bit;
     if (pkt.corrupted)
         out.resp_corrupted = true;
     out.resp_parts_seen++;
@@ -350,6 +389,7 @@ CNode::onPacket(Packet pkt)
 
     if (out.resp_corrupted) {
         // Checksum failure on the response: retry the whole request.
+        out.last_fail_timeout = false;
         out_index_.erase(it);
         retry(slot, false);
         return;

@@ -105,9 +105,16 @@ class CNode
         std::uint32_t retries = 0;
         /** Timeout-staleness guard. */
         std::uint64_t generation = 0;
+        /** Whether the most recent failed attempt died by timeout (vs
+         * NACK/corruption) — decides kTimeout vs kRetryExceeded when
+         * retries are exhausted. */
+        bool last_fail_timeout = false;
         /** Response reassembly (T1). */
         std::uint32_t resp_parts_seen = 0;
         std::uint32_t resp_parts_total = 0;
+        /** Per-part seen bitmap: a duplicated response packet (chaos
+         * hook) must not double-count toward resp_parts_total. */
+        std::vector<std::uint64_t> resp_seen_bits;
         std::shared_ptr<const ResponseMsg> resp;
         bool resp_corrupted = false;
     };

@@ -1,5 +1,8 @@
 #include "clib/replication.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "clib/queue.hh"
 #include "sim/logging.hh"
 
@@ -72,6 +75,53 @@ ReplicatedRegion::read(std::uint64_t offset, void *dst, std::uint64_t len)
     if (st != Status::kOk)
         backup_alive_ = false;
     return st;
+}
+
+Status
+ReplicatedRegion::heal(NodeId replacement_mn)
+{
+    if (primary_alive_ && backup_alive_)
+        return Status::kOk; // nothing to heal
+    if (!primary_alive_ && !backup_alive_)
+        return Status::kRetryExceeded; // no surviving copy
+    const VirtAddr survivor = primary_alive_ ? primary_ : backup_;
+    clio_assert(client_.mnFor(survivor) != replacement_mn,
+                "replacement replica must not share the survivor's MN");
+
+    SubmissionBatch alloc_batch(client_);
+    const std::size_t a =
+        alloc_batch.alloc(size_, kPermReadWrite, false, replacement_mn);
+    const BatchOutcome alloc_out = alloc_batch.submitAndWait();
+    if (!alloc_out.completions[a].ok())
+        return alloc_out.completions[a].status;
+    const VirtAddr fresh = alloc_out.completions[a].value;
+
+    // Stream the surviving copy over in bounded chunks (the copy is a
+    // client-driven read+write pipeline, like the paper's suggested
+    // user-level replication service would run).
+    constexpr std::uint64_t kChunk = 256 * KiB;
+    std::vector<std::uint8_t> buf(std::min<std::uint64_t>(kChunk, size_));
+    for (std::uint64_t off = 0; off < size_; off += kChunk) {
+        const std::uint64_t n = std::min<std::uint64_t>(kChunk, size_ - off);
+        Status st = client_.rread(survivor + off, buf.data(), n);
+        if (st != Status::kOk)
+            return st;
+        st = client_.rwrite(fresh + off, buf.data(), n);
+        if (st != Status::kOk)
+            return st;
+    }
+
+    // Swap the fresh copy into the dead slot. The old VA is not freed:
+    // the board that held it lost all volatile state when it crashed.
+    if (!primary_alive_) {
+        primary_ = fresh;
+        primary_alive_ = true;
+    } else {
+        backup_ = fresh;
+        backup_alive_ = true;
+    }
+    resyncs_++;
+    return Status::kOk;
 }
 
 void

@@ -51,7 +51,19 @@ class ReplicatedRegion
     bool primaryAlive() const { return primary_alive_; }
     bool backupAlive() const { return backup_alive_; }
     std::uint64_t failovers() const { return failovers_; }
+    std::uint64_t resyncs() const { return resyncs_; }
     /** @} */
+
+    /**
+     * Re-replicate after a replica died: allocate a fresh copy on
+     * `replacement_mn` (a restarted or spare board, distinct from the
+     * survivor's MN), stream the surviving replica's bytes into it,
+     * and swap it in for the dead slot. No-op (kOk) when both replicas
+     * are healthy; kRetryExceeded when both are dead (nothing left to
+     * copy from). The dead replica's old VA is NOT freed — its board
+     * lost that state when it crashed.
+     */
+    Status heal(NodeId replacement_mn);
 
     /** Release both replicas. */
     void destroy();
@@ -64,6 +76,7 @@ class ReplicatedRegion
     bool primary_alive_ = true;
     bool backup_alive_ = true;
     std::uint64_t failovers_ = 0;
+    std::uint64_t resyncs_ = 0;
 };
 
 } // namespace clio

@@ -1,6 +1,7 @@
 #include "cluster/cluster.hh"
 
 #include <algorithm>
+#include <set>
 
 #include "sim/logging.hh"
 
@@ -76,6 +77,8 @@ Cluster::leastPressuredMn() const
     std::uint32_t best = 0;
     double best_pressure = 2.0;
     for (std::uint32_t i = 0; i < mns_.size(); i++) {
+        if (!mns_[i]->alive())
+            continue;
         const double p = mns_[i]->memoryPressure();
         if (p < best_pressure) {
             best_pressure = p;
@@ -83,6 +86,108 @@ Cluster::leastPressuredMn() const
         }
     }
     return best;
+}
+
+RackId
+Cluster::rackOfMn(std::uint32_t i) const
+{
+    return net_.rackOf(mns_.at(i)->nodeId());
+}
+
+void
+Cluster::rehomePid(ProcId pid, std::uint32_t new_home)
+{
+    const std::uint32_t old =
+        pid < pid_home_mn_.size() ? pid_home_mn_[pid] : kNoOwner;
+    if (old == new_home || old == kNoOwner)
+        return;
+    // The directory predicts owners for granted regions; changing the
+    // home would silently change those predictions. Materialize them
+    // into explicit exception entries FIRST — granted regions stay
+    // where they physically are, only future grants follow the home.
+    const std::uint64_t region = cfg_.dist.region_size;
+    for (std::uint64_t ridx = 1; ridx < nextRegionOf(pid); ridx++) {
+        const VirtAddr start = ridx * region;
+        if (region_owner_.count({pid, start}))
+            continue;
+        const std::uint32_t owner = regionOwnerIdx(pid, start);
+        if (owner != kNoOwner)
+            region_owner_[{pid, start}] = owner;
+    }
+    pid_home_mn_[pid] = new_home;
+}
+
+void
+Cluster::rehomeAllPids()
+{
+    if (shard_map_.empty())
+        return;
+    std::set<ProcId> seen;
+    for (const auto &client : clients_) {
+        const ProcId pid = client->pid();
+        if (!seen.insert(pid).second)
+            continue; // shared RAS: the first-created client decides
+        const RackId rack = net_.rackOf(client->cnode().nodeId());
+        const std::uint32_t want = shard_map_.ownerNear(pid, 0, rack);
+        if (pid < pid_home_mn_.size() &&
+            pid_home_mn_[pid] != kNoOwner && pid_home_mn_[pid] != want)
+            rehomePid(pid, want);
+    }
+}
+
+void
+Cluster::crashMn(std::uint32_t i)
+{
+    CBoard &board = *mns_.at(i);
+    if (!board.alive())
+        return;
+    board.crash();
+    net_.setNodeDown(board.nodeId(), true);
+    if (sharded_) {
+        // The dead MN's vnodes leave the ring; affected pids re-probe
+        // rack-first among the survivors (consistent hashing keeps
+        // every other placement untouched).
+        shard_map_.removeMn(i);
+        if (!shard_map_.empty())
+            rehomeAllPids();
+    }
+}
+
+void
+Cluster::restartMn(std::uint32_t i)
+{
+    CBoard &board = *mns_.at(i);
+    if (board.alive())
+        return;
+    board.restart();
+    net_.setNodeDown(board.nodeId(), false);
+    if (sharded_) {
+        // Ring points are deterministic in (mn, replica), so re-adding
+        // restores the pre-crash placement exactly and re-homed pids
+        // move home again.
+        shard_map_.addMn(i, rackOfMn(i));
+        rehomeAllPids();
+    }
+}
+
+void
+Cluster::killRack(RackId rack)
+{
+    net_.setRackDown(rack, true);
+    for (std::uint32_t i = 0; i < mns_.size(); i++) {
+        if (rackOfMn(i) == rack)
+            crashMn(i);
+    }
+}
+
+void
+Cluster::restoreRack(RackId rack)
+{
+    net_.setRackDown(rack, false);
+    for (std::uint32_t i = 0; i < mns_.size(); i++) {
+        if (rackOfMn(i) == rack)
+            restartMn(i);
+    }
 }
 
 std::uint32_t
@@ -242,7 +347,7 @@ Cluster::migrateRegion(ProcId pid, std::uint32_t src_mn,
 {
     MigrationReport report;
     report.src_mn = src_mn;
-    if (mns_.size() < 2)
+    if (mns_.size() < 2 || !mns_[src_mn]->alive())
         return report;
 
     const std::uint64_t region = cfg_.dist.region_size;
@@ -264,7 +369,7 @@ Cluster::migrateRegion(ProcId pid, std::uint32_t src_mn,
     std::uint32_t dst_mn = src_mn;
     double best = 2.0;
     for (std::uint32_t i = 0; i < mns_.size(); i++) {
-        if (i == src_mn)
+        if (i == src_mn || !mns_[i]->alive())
             continue;
         const double p = mns_[i]->memoryPressure();
         if (p < best) {

@@ -143,14 +143,41 @@ class Cluster
      */
     std::vector<MigrationReport> balancePressure();
 
+    /** @{ Failure domains (chaos engine). crashMn() kills the board
+     * (volatile state lost) and marks its network port down; in
+     * sharded mode the controller reacts like §4.7's global controller
+     * would: the dead MN leaves the ring and every pid homed on it is
+     * re-homed rack-first onto a surviving MN (already-granted regions
+     * keep explicit owner entries, so only NEW allocations move).
+     * restartMn() brings the board back EMPTY and re-adds its vnodes
+     * to the ring — deterministic points mean placements are restored
+     * exactly, so re-homed pids move home again. killRack()/
+     * restoreRack() do the same for a whole rack plus its ToR. */
+    bool mnAlive(std::uint32_t i) const { return mns_.at(i)->alive(); }
+    RackId rackOfMn(std::uint32_t i) const;
+    void crashMn(std::uint32_t i);
+    void restartMn(std::uint32_t i);
+    void killRack(RackId rack);
+    void restoreRack(RackId rack);
+    /** @} */
+
   private:
     /** Controller: hand `min_bytes` of fresh contiguous regions of
      * `pid`'s RAS to MN index `mn_idx`. */
     bool grantWindows(ProcId pid, std::uint32_t mn_idx,
                       std::uint64_t min_bytes);
 
-    /** Least-pressured MN index. */
+    /** Least-pressured LIVE MN index. */
     std::uint32_t leastPressuredMn() const;
+
+    /** Move `pid`'s directory home to `new_home`, materializing the
+     * directory's owner predictions for already-granted regions into
+     * explicit exception entries first (they stay where they are). */
+    void rehomePid(ProcId pid, std::uint32_t new_home);
+
+    /** Recompute every client pid's preferred home from the current
+     * ring and re-home those whose directory entry differs. */
+    void rehomeAllPids();
 
     /** Wire up an MN's windowed-mode hooks (both constructors). */
     void attachMnHooks(std::uint32_t mn_idx, bool windowed);

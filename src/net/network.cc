@@ -50,6 +50,53 @@ Network::admitTime(const Stage &stage, std::uint32_t cap, Tick now)
 }
 
 void
+Network::setNodeDown(NodeId node, bool down)
+{
+    clio_assert(node < ports_.size(), "unknown node");
+    ports_[node].down = down;
+}
+
+bool
+Network::nodeDown(NodeId node) const
+{
+    clio_assert(node < ports_.size(), "unknown node");
+    return ports_[node].down;
+}
+
+void
+Network::setRackDown(RackId rack, bool down)
+{
+    if (rack >= racks_.size())
+        racks_.resize(rack + 1);
+    racks_[rack].tor_down = down;
+}
+
+bool
+Network::rackDown(RackId rack) const
+{
+    return rack < racks_.size() && racks_[rack].tor_down;
+}
+
+void
+Network::scheduleDelivery(Tick deliver, Packet pkt)
+{
+    const NodeId dst_id = pkt.dst;
+    eq_.schedule(deliver, [this, dst_id, pkt = std::move(pkt)]() mutable {
+        Port &port = ports_[dst_id];
+        if (port.down || racks_[port.rack].tor_down) {
+            // The endpoint (or its ToR) died while the packet was in
+            // flight: the bytes are gone.
+            stats_.dropped_down++;
+            return;
+        }
+        stats_.delivered++;
+        stats_.bytes_delivered += pkt.wire_bytes;
+        if (port.rx)
+            port.rx(std::move(pkt));
+    });
+}
+
+void
 Network::send(Packet pkt)
 {
     clio_assert(pkt.src < ports_.size() && pkt.dst < ports_.size(),
@@ -59,6 +106,13 @@ Network::send(Packet pkt)
 
     Port &src = ports_[pkt.src];
     Port &dst = ports_[pkt.dst];
+    if (src.down || dst.down || racks_[src.rack].tor_down ||
+        racks_[dst.rack].tor_down) {
+        // Dead endpoint or dead ToR on either side: nothing leaves the
+        // NIC (requests to crashed MNs surface as CN-side timeouts).
+        stats_.dropped_down++;
+        return;
+    }
     const Tick now = eq_.now();
     const bool cross_rack = src.rack != dst.rack;
     Rack *src_rack = cross_rack ? &racks_[src.rack] : nullptr;
@@ -110,6 +164,28 @@ Network::send(Packet pkt)
         stats_.corrupted++;
     }
 
+    // --- Injected faults (chaos hook), evaluated per traversed stage
+    // in path order. Without a hook this path makes no RNG draws.
+    bool fault_duplicate = false;
+    Tick fault_delay = 0;
+    const auto stageFault = [&](NetStage stage) -> bool {
+        if (!fault_hook_)
+            return false;
+        const FaultVerdict v = fault_hook_(pkt, stage);
+        if (v.drop) {
+            stats_.dropped_fault++;
+            return true;
+        }
+        if (v.corrupt && !pkt.corrupted) {
+            pkt.corrupted = true;
+            stats_.corrupted++;
+        }
+        if (v.duplicate)
+            fault_duplicate = true;
+        fault_delay += v.extra_delay;
+        return false;
+    };
+
     // --- Aggregation hops (only when src and dst racks differ). ---
     // source ToR -> uplink serialization -> spine -> downlink
     // serialization -> destination ToR. Queue occupancy at each hop
@@ -121,6 +197,8 @@ Network::send(Packet pkt)
             static_cast<Tick>(pkt.wire_bytes) * agg_ticks_per_byte_;
 
         // Uplink of the source rack toward the spine.
+        if (stageFault(NetStage::kAggUp))
+            return;
         if (!cfg_.lossless &&
             src_rack->up.drain.size() >= cfg_.agg_queue_packets) {
             stats_.dropped_agg_queue++;
@@ -133,6 +211,8 @@ Network::send(Packet pkt)
 
         // Spine output toward the destination rack (its downlink).
         const Tick at_spine = up_done + cfg_.agg_link_propagation;
+        if (stageFault(NetStage::kAggDown))
+            return;
         if (!cfg_.lossless &&
             dst_rack->down.drain.size() >= cfg_.agg_queue_packets) {
             stats_.dropped_agg_queue++;
@@ -148,6 +228,8 @@ Network::send(Packet pkt)
     }
 
     // --- Destination ToR output port toward the destination node. ---
+    if (stageFault(NetStage::kTor))
+        return;
     const Tick out_ser =
         static_cast<Tick>(pkt.wire_bytes) * dst.ticks_per_byte;
     const Tick out_start = std::max(at_dst_tor, dst.out.free);
@@ -181,7 +263,7 @@ Network::send(Packet pkt)
                  static_cast<std::uint32_t>(still_queued));
 
     // --- Final hop to the destination NIC. ---
-    Tick deliver = out_done + cfg_.link_propagation;
+    Tick deliver = out_done + cfg_.link_propagation + fault_delay;
     if (cfg_.switch_jitter_mean > 0) {
         deliver += static_cast<Tick>(rng_.exponential(
             static_cast<double>(cfg_.switch_jitter_mean)));
@@ -191,14 +273,13 @@ Network::send(Packet pkt)
         stats_.reordered++;
     }
 
-    const NodeId dst_id = pkt.dst;
-    eq_.schedule(deliver, [this, dst_id, pkt = std::move(pkt)]() mutable {
-        Port &port = ports_[dst_id];
-        stats_.delivered++;
-        stats_.bytes_delivered += pkt.wire_bytes;
-        if (port.rx)
-            port.rx(std::move(pkt));
-    });
+    if (fault_duplicate) {
+        // A switch duplicated the packet: the copy trails the original
+        // by the reorder delay (the protocol must absorb it, T1/T4).
+        stats_.duplicated++;
+        scheduleDelivery(deliver + cfg_.reorder_delay, pkt);
+    }
+    scheduleDelivery(deliver, std::move(pkt));
 }
 
 Tick

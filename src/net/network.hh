@@ -56,6 +56,13 @@ struct NetStats
     std::uint64_t dropped_random = 0;
     std::uint64_t dropped_queue = 0;     ///< ToR output tail drops
     std::uint64_t dropped_agg_queue = 0; ///< uplink/downlink tail drops
+    /** Dropped because an endpoint node or rack ToR was marked down
+     * (at submission, or at delivery for packets already in flight). */
+    std::uint64_t dropped_down = 0;
+    /** Dropped by the installed fault hook. */
+    std::uint64_t dropped_fault = 0;
+    /** Extra deliveries scheduled by the fault hook. */
+    std::uint64_t duplicated = 0;
     std::uint64_t corrupted = 0;
     std::uint64_t reordered = 0;
     std::uint64_t bytes_delivered = 0;
@@ -72,11 +79,38 @@ struct NetStats
     std::uint32_t peak_queue_depth = 0;
 };
 
+/** Switch stage a packet is traversing when the fault hook fires. */
+enum class NetStage : std::uint8_t {
+    kTor,    ///< destination ToR output port (every packet)
+    kAggUp,  ///< source rack's uplink toward the spine (cross-rack)
+    kAggDown ///< destination rack's downlink from the spine (cross-rack)
+};
+
+/** What the fault hook decided for one packet at one stage. */
+struct FaultVerdict
+{
+    bool drop = false;
+    bool corrupt = false;
+    /** Deliver a second copy of the packet (after reorder_delay). */
+    bool duplicate = false;
+    /** Extra delivery delay added by this stage. */
+    Tick extra_delay = 0;
+};
+
 /** The leaf/spine-switched network connecting every node of a cluster. */
 class Network
 {
   public:
     using RxHandler = std::function<void(Packet)>;
+
+    /**
+     * Deterministic fault-injection hook, consulted once per switch
+     * stage a packet traverses (kTor always; kAggUp/kAggDown only for
+     * cross-rack packets, in path order). When no hook is installed
+     * the send path performs exactly the same RNG draws as before, so
+     * installing chaos never perturbs fault-free seeds.
+     */
+    using FaultHook = std::function<FaultVerdict(const Packet &, NetStage)>;
 
     Network(EventQueue &eq, const NetConfig &cfg, std::uint64_t seed);
 
@@ -108,6 +142,19 @@ class Network
 
     /** Rack of a node. */
     RackId rackOf(NodeId node) const;
+
+    /** @{ Failure domains. A down node (dead NIC/board port) or a down
+     * rack (dead ToR) drops every packet to or from it — both packets
+     * submitted later and packets already in flight at delivery time. */
+    void setNodeDown(NodeId node, bool down);
+    bool nodeDown(NodeId node) const;
+    void setRackDown(RackId rack, bool down);
+    bool rackDown(RackId rack) const;
+    /** @} */
+
+    /** Install / clear the fault-injection hook. */
+    void setFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
+    void clearFaultHook() { fault_hook_ = nullptr; }
 
     /** Number of racks seen so far (max rack id + 1; >= 1). */
     std::uint32_t rackCount() const
@@ -148,6 +195,8 @@ class Network
         /** When the node's egress link becomes idle. */
         Tick tx_free = 0;
         RackId rack = 0;
+        /** Marked down by the failure layer (dead NIC / board port). */
+        bool down = false;
         /** The ToR output port toward this node. */
         Stage out;
     };
@@ -157,6 +206,8 @@ class Network
     {
         Stage up;   ///< leaf -> spine aggregation link
         Stage down; ///< spine -> leaf aggregation link
+        /** Marked down by the failure layer (dead ToR). */
+        bool tor_down = false;
     };
 
     /** Pop departures that already happened (occupancy bookkeeping). */
@@ -166,12 +217,18 @@ class Network
     static Tick admitTime(const Stage &stage, std::uint32_t cap,
                           Tick now);
 
+    /** Schedule one delivery of `pkt` at `deliver` (down-state is
+     * re-checked when the event fires, so packets in flight when a
+     * node or rack dies are lost, like on real hardware). */
+    void scheduleDelivery(Tick deliver, Packet pkt);
+
     EventQueue &eq_;
     NetConfig cfg_;
     Rng rng_;
     Tick agg_ticks_per_byte_;
     std::vector<Port> ports_;
     std::vector<Rack> racks_;
+    FaultHook fault_hook_;
     NetStats stats_;
 };
 

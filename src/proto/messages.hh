@@ -37,9 +37,11 @@ enum class Status : std::uint8_t {
     kBadAddress,     ///< VA not allocated (no PTE)
     kPermDenied,     ///< permission check failed in the fast path
     kOutOfMemory,    ///< allocation could not be satisfied
-    kRetryExceeded,  ///< CLib-side: all retries timed out
+    kRetryExceeded,  ///< CLib-side: retries exhausted on NACK/corruption
     kCorrupt,        ///< NACK: link-layer checksum failure at the MN
     kOffloadError,   ///< extend-path offload rejected the call
+    kTimeout,        ///< CLib-side: retries exhausted, last failure was
+                     ///< a timeout (dead/unreachable MN)
 };
 
 /** Human-readable status name (log + test failure messages). */
@@ -61,6 +63,8 @@ to_string(Status status)
         return "Corrupt";
       case Status::kOffloadError:
         return "OffloadError";
+      case Status::kTimeout:
+        return "Timeout";
     }
     return "Status(?)";
 }

@@ -128,6 +128,12 @@ struct CLibConfig
     Tick slow_op_timeout = 200 * kMillisecond;
     /** Max retries before reporting failure to the application. */
     std::uint32_t max_retries = 2;
+    /** Exponential backoff base applied before a timeout-triggered
+     * retry is retransmitted: attempt k waits retry_backoff * 2^(k-1),
+     * capped at slow_op_timeout. NACK/corruption retries resend
+     * immediately (the MN is alive, only the packet was bad). 0
+     * disables backoff entirely. */
+    Tick retry_backoff = 20 * kMicrosecond;
     /** Initial congestion window (outstanding requests per MN). */
     double cwnd_init = 8.0;
     /** Max congestion window. */

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cluster/cluster.hh"
+#include "cluster/shard_map.hh"
 #include "pagetable/hash_page_table.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
@@ -301,6 +302,148 @@ TEST_P(HistogramSweep, PercentileNeverUnderstatesAndNeverExceedsMax)
 
 INSTANTIATE_TEST_SUITE_P(Magnitudes, HistogramSweep,
                          ::testing::Values(8, 20, 34, 50, 63));
+
+// ----------------------------------------------------------------
+// Shard-map property sweep: consistent-hashing guarantees that the
+// recovery path (MN crash → removeMn, rejoin → addMn) leans on.
+// ----------------------------------------------------------------
+
+/** Sampled (pid, region) keyspace: placements under the ring. */
+std::vector<std::uint32_t>
+placements(const ShardMap &map, std::size_t keys)
+{
+    std::vector<std::uint32_t> out;
+    out.reserve(keys);
+    for (std::size_t k = 0; k < keys; k++) {
+        const auto pid = static_cast<ProcId>(1 + k / 8);
+        out.push_back(map.ownerOf(pid, k % 8));
+    }
+    return out;
+}
+
+class ShardMapSweep
+    : public ::testing::TestWithParam<std::uint32_t /*initial MNs*/>
+{
+};
+
+TEST_P(ShardMapSweep, AddMovesBoundedFractionOntoNewMn)
+{
+    const std::uint32_t m = GetParam();
+    constexpr std::size_t kKeys = 4000;
+    ShardMap map;
+    for (std::uint32_t i = 0; i < m; i++)
+        map.addMn(i, i % 3);
+    const auto before = placements(map, kKeys);
+
+    map.addMn(m, m % 3);
+    const auto after = placements(map, kKeys);
+
+    std::size_t moved = 0;
+    for (std::size_t k = 0; k < kKeys; k++) {
+        if (after[k] != before[k]) {
+            moved++;
+            // Consistent hashing: a key only ever moves TO the new
+            // member, never between surviving ones.
+            EXPECT_EQ(after[k], m) << "key " << k << " reshuffled "
+                                   << before[k] << "->" << after[k];
+        }
+    }
+    // Expected share is 1/(m+1); allow generous vnode-variance slack
+    // but fail on anything resembling a rehash-everything design.
+    const double bound = 2.5 * static_cast<double>(kKeys) /
+                         static_cast<double>(m + 1);
+    EXPECT_LE(static_cast<double>(moved), bound) << "m=" << m;
+    EXPECT_GT(moved, 0u);
+}
+
+TEST_P(ShardMapSweep, RemoveRestoresPlacementsExactly)
+{
+    // Crash + rejoin must be a placement no-op: the ring points are
+    // deterministic per MN, so removeMn(x) followed by addMn(x) gives
+    // back byte-identical placements. This is what lets the cluster
+    // re-home every process to its original MN after a restart.
+    const std::uint32_t m = GetParam();
+    constexpr std::size_t kKeys = 4000;
+    ShardMap map;
+    for (std::uint32_t i = 0; i < m; i++)
+        map.addMn(i, i % 3);
+    const auto before = placements(map, kKeys);
+
+    Rng rng(m * 31 + 5);
+    for (int round = 0; round < 6; round++) {
+        const auto victim =
+            static_cast<std::uint32_t>(rng.uniformInt(m));
+        map.removeMn(victim);
+        // While the victim is out, its keys fall to ring successors;
+        // every key still has an owner among the survivors.
+        if (map.mnCount() > 0) {
+            for (const auto owner : placements(map, kKeys))
+                EXPECT_NE(owner, victim);
+        }
+        map.addMn(victim, victim % 3);
+        EXPECT_EQ(placements(map, kKeys), before) << "round " << round;
+    }
+}
+
+TEST_P(ShardMapSweep, MembershipOrderDoesNotMatter)
+{
+    // Placements depend only on the member SET, not on join order —
+    // two controllers that converged on the same membership agree on
+    // every placement.
+    const std::uint32_t m = GetParam();
+    ShardMap forward;
+    ShardMap reverse;
+    for (std::uint32_t i = 0; i < m; i++)
+        forward.addMn(i, i % 3);
+    for (std::uint32_t i = m; i > 0; i--)
+        reverse.addMn(i - 1, (i - 1) % 3);
+    EXPECT_EQ(placements(forward, 2000), placements(reverse, 2000));
+}
+
+TEST_P(ShardMapSweep, RackPreferenceHoldsWheneverRackHasMns)
+{
+    // ownerNear must return a rack-local MN for every key whenever the
+    // preferred rack's sub-ring is non-empty — the paper's CNs always
+    // get same-ToR memory if their rack hosts any MN at all.
+    const std::uint32_t m = GetParam();
+    constexpr RackId kRacks = 3;
+    ShardMap map;
+    for (std::uint32_t i = 0; i < m; i++)
+        map.addMn(i, i % kRacks);
+
+    std::vector<bool> rack_has_mn(kRacks, false);
+    for (std::uint32_t i = 0; i < m; i++)
+        rack_has_mn[i % kRacks] = true;
+
+    for (ProcId pid = 1; pid <= 50; pid++) {
+        for (std::uint64_t region = 0; region < 8; region++) {
+            for (RackId rack = 0; rack < kRacks; rack++) {
+                const std::uint32_t owner =
+                    map.ownerNear(pid, region, rack);
+                ASSERT_LT(owner, m);
+                if (rack_has_mn[rack]) {
+                    EXPECT_EQ(map.rackOf(owner), rack)
+                        << "pid=" << pid << " region=" << region
+                        << " rack=" << rack << " owner=" << owner;
+                }
+            }
+        }
+    }
+
+    // Empty a rack one MN at a time: preference must hold right up
+    // until the sub-ring is empty, then spill remotely (still valid).
+    for (std::uint32_t i = 0; i < m; i += kRacks)
+        map.removeMn(i); // removes every rack-0 MN
+    if (m >= kRacks) {
+        for (ProcId pid = 1; pid <= 20; pid++) {
+            const std::uint32_t owner = map.ownerNear(pid, 0, 0);
+            EXPECT_NE(map.rackOf(owner), 0u); // rack 0 has no MNs left
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, ShardMapSweep,
+                         ::testing::Values(1u, 2u, 3u, 6u, 12u, 24u));
 
 } // namespace
 } // namespace clio

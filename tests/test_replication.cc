@@ -98,5 +98,148 @@ TEST(Replication, SurvivesLossyNetwork)
     }
 }
 
+TEST(Replication, FailoverUnderInflightBatchedWrites)
+{
+    // The primary dies WHILE a write-all batch is in flight: the crash
+    // event is scheduled a few microseconds out and fires inside one
+    // of the synchronous submitAndWait pumps.
+    Cluster cluster(ModelConfig::prototype(), 1, 2);
+    ClioClient &client = cluster.createClient(0);
+    ReplicatedRegion region(client, 4 * MiB, cluster.mn(0).nodeId(),
+                            cluster.mn(1).nodeId());
+    ASSERT_TRUE(region.ok());
+
+    cluster.eventQueue().scheduleAfter(5 * kMicrosecond,
+                                       [&] { cluster.crashMn(0); });
+    for (std::uint64_t i = 0; i < 20; i++) {
+        std::uint64_t v = 0x5000 + i;
+        // Every write still acks: the batch degrades to the backup
+        // when the primary leg exhausts its retries.
+        ASSERT_EQ(region.write(i * 8, &v, 8), Status::kOk) << i;
+    }
+    EXPECT_FALSE(region.primaryAlive());
+    EXPECT_TRUE(region.backupAlive());
+    EXPECT_GE(cluster.cn(0).stats().timeouts, 1u);
+
+    // All twenty writes are readable (served by the backup).
+    for (std::uint64_t i = 0; i < 20; i++) {
+        std::uint64_t out = 0;
+        ASSERT_EQ(region.read(i * 8, &out, 8), Status::kOk) << i;
+        EXPECT_EQ(out, 0x5000 + i);
+    }
+}
+
+TEST(Replication, DoubleFailureFailsFastWithoutHanging)
+{
+    Cluster cluster(ModelConfig::prototype(), 1, 2);
+    ClioClient &client = cluster.createClient(0);
+    ReplicatedRegion region(client, 4 * MiB, cluster.mn(0).nodeId(),
+                            cluster.mn(1).nodeId());
+    ASSERT_TRUE(region.ok());
+    std::uint64_t v = 1;
+    ASSERT_EQ(region.write(0, &v, 8), Status::kOk);
+
+    cluster.crashMn(0);
+    cluster.crashMn(1);
+
+    // First op after the double failure burns real retries on both
+    // replicas, then gives up — bounded sim time, never a hang.
+    const Tick before = cluster.eventQueue().now();
+    EXPECT_EQ(region.write(0, &v, 8), Status::kRetryExceeded);
+    EXPECT_FALSE(region.primaryAlive());
+    EXPECT_FALSE(region.backupAlive());
+    std::uint64_t out = 0;
+    EXPECT_EQ(region.read(0, &out, 8), Status::kRetryExceeded);
+    EXPECT_LT(cluster.eventQueue().now() - before, kSecond);
+
+    // Once both replicas are marked dead, further ops fail instantly
+    // (no packets, no simulated time).
+    const Tick t = cluster.eventQueue().now();
+    EXPECT_EQ(region.write(0, &v, 8), Status::kRetryExceeded);
+    EXPECT_EQ(region.read(0, &out, 8), Status::kRetryExceeded);
+    EXPECT_EQ(cluster.eventQueue().now(), t);
+
+    // With no surviving copy there is nothing to heal from.
+    cluster.restartMn(0);
+    EXPECT_EQ(region.heal(cluster.mn(0).nodeId()),
+              Status::kRetryExceeded);
+}
+
+TEST(Replication, ReReplicationOntoThirdMnAfterCrash)
+{
+    // Heal onto a DIFFERENT MN than the one that died: the replacement
+    // replica may land anywhere with capacity.
+    Cluster cluster(ModelConfig::prototype(), 1, 3);
+    ClioClient &client = cluster.createClient(0);
+    ReplicatedRegion region(client, 1 * MiB, cluster.mn(0).nodeId(),
+                            cluster.mn(1).nodeId());
+    ASSERT_TRUE(region.ok());
+
+    // Scatter data across the region so the chunked (256 KiB) resync
+    // stream has to cover every chunk.
+    for (std::uint64_t off = 0; off < 1 * MiB; off += 128 * KiB) {
+        std::uint64_t v = 0xBEEF0000 + off;
+        ASSERT_EQ(region.write(off, &v, 8), Status::kOk);
+    }
+
+    cluster.crashMn(0);
+    std::uint64_t out = 0;
+    ASSERT_EQ(region.read(0, &out, 8), Status::kOk); // failover
+    ASSERT_FALSE(region.primaryAlive());
+
+    ASSERT_EQ(region.heal(cluster.mn(2).nodeId()), Status::kOk);
+    EXPECT_TRUE(region.primaryAlive());
+    EXPECT_EQ(region.resyncs(), 1u);
+    EXPECT_GE(cluster.mn(2).stats().writes, 1u);
+
+    // Kill the surviving ORIGINAL replica: everything must now come
+    // from the re-replicated copy on MN 2.
+    cluster.crashMn(1);
+    for (std::uint64_t off = 0; off < 1 * MiB; off += 128 * KiB) {
+        ASSERT_EQ(region.read(off, &out, 8), Status::kOk) << off;
+        EXPECT_EQ(out, 0xBEEF0000 + off);
+    }
+    EXPECT_TRUE(region.primaryAlive());
+    EXPECT_TRUE(region.backupAlive()); // backup untouched since heal
+}
+
+TEST(Replication, WriteAllQuorumEdgeCases)
+{
+    auto cfg = ModelConfig::prototype();
+    Cluster cluster(cfg, 1, 3);
+    ClioClient &client = cluster.createClient(0);
+
+    // Construction against a dead MN yields a half-born region that
+    // reports !ok() instead of pretending to be replicated.
+    cluster.crashMn(2);
+    ReplicatedRegion broken(client, 1 * MiB, cluster.mn(0).nodeId(),
+                            cluster.mn(2).nodeId());
+    EXPECT_FALSE(broken.ok());
+    cluster.restartMn(2);
+
+    ReplicatedRegion region(client, 1 * MiB, cluster.mn(0).nodeId(),
+                            cluster.mn(1).nodeId());
+    ASSERT_TRUE(region.ok());
+
+    // Degraded-mode write: one replica dead → kOk on a single ack,
+    // and the dead replica is marked so later writes skip it.
+    std::uint64_t v = 7;
+    cluster.crashMn(1);
+    EXPECT_EQ(region.write(0, &v, 8), Status::kOk);
+    EXPECT_FALSE(region.backupAlive());
+    const std::uint64_t writes_before = cluster.cn(0).stats().timeouts;
+    v = 8;
+    EXPECT_EQ(region.write(0, &v, 8), Status::kOk);
+    // The second degraded write never retried the dead backup.
+    EXPECT_EQ(cluster.cn(0).stats().timeouts, writes_before);
+
+    // Read-one still answers from the surviving primary, without
+    // bumping the failover counter.
+    std::uint64_t out = 0;
+    EXPECT_EQ(region.read(0, &out, 8), Status::kOk);
+    EXPECT_EQ(out, 8u);
+    EXPECT_EQ(region.failovers(), 0u);
+}
+
 } // namespace
 } // namespace clio
