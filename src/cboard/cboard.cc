@@ -55,6 +55,7 @@ CBoard::crash()
     stats_.crashes++;
     // The pipeline state and inflight reassembly die with the board.
     inflight_.clear();
+    lock_owners_.clear();
 }
 
 void
@@ -87,6 +88,13 @@ CBoard::restart()
     refill_done_ = 0;
     inflight_.clear();
     packets_since_gc_ = 0;
+    lock_owners_.clear();
+    // A rebooted board fences nothing until the controller observes
+    // the rejoin and installs the new epoch; its empty address space
+    // answers kBadAddress meanwhile, which is safe.
+    epoch_fence_ = 0;
+    incarnation_++;
+    hb_seq_ = 0;
     alive_ = true;
     bootstrapAsyncBuffer();
 
@@ -144,6 +152,31 @@ CBoard::onPacket(Packet pkt)
                           2 * cfg_.fast_path.cycle;
         respondAt(when, pkt.src, pkt.req_id, std::move(resp));
         return;
+    }
+
+    // Epoch fence (split-brain guard): a request stamped with an epoch
+    // older than this board's rejoin epoch comes from a client that has
+    // not yet learned the board died and came back empty — reject it
+    // before it can read stale void or write into the wrong incarnation.
+    // Every packet of a fenced request is answered identically (the
+    // board keeps no per-request state for them); the CN completes on
+    // the first response and drops the rest as stale.
+    const bool is_request = pkt.type != MsgType::kResponse &&
+                            pkt.type != MsgType::kNack &&
+                            pkt.type != MsgType::kHeartbeat;
+    if (epoch_fence_ != 0 && is_request) {
+        const auto &req = static_cast<const RequestMsg &>(*pkt.msg);
+        if (req.epoch < epoch_fence_) {
+            stats_.epoch_fenced++;
+            auto resp = resp_pool_.acquire();
+            resp->req_id = pkt.req_id;
+            resp->status = Status::kEpochFenced;
+            const Tick when = eq_.now() + cfg_.fast_path.mac_latency +
+                              cfg_.fast_path.parse_cycles *
+                                  cfg_.fast_path.cycle;
+            respondAt(when, pkt.src, pkt.req_id, std::move(resp));
+            return;
+        }
     }
 
     switch (pkt.type) {
@@ -230,7 +263,8 @@ CBoard::onPacket(Packet pkt)
         break;
       case MsgType::kResponse:
       case MsgType::kNack:
-        clio_panic("MN received a response-type packet");
+      case MsgType::kHeartbeat:
+        clio_panic("MN received a non-request packet");
     }
 }
 
@@ -412,9 +446,16 @@ CBoard::fastPathPacket(const Packet &pkt, Inflight &inflight)
             switch (req.aop) {
               case AtomicOp::kTestAndSet:
                 memory_.write64(pa, 1);
+                // Successful rlock acquire: remember which CN holds
+                // it so the controller's CN-death GC can release it.
+                if (old == 0)
+                    lock_owners_[{req.pid, req.addr}] = req.src;
                 break;
               case AtomicOp::kStore:
                 memory_.write64(pa, req.arg0);
+                // runlock (store 0) releases ownership.
+                if (req.arg0 == 0)
+                    lock_owners_.erase({req.pid, req.addr});
                 break;
               case AtomicOp::kFetchAdd:
                 memory_.write64(pa, old + req.arg0);
@@ -855,6 +896,72 @@ CBoard::destroyProcess(ProcId pid)
     });
     tlb_.invalidateProcess(pid);
     valloc_.removeProcess(pid);
+    for (auto it = lock_owners_.begin(); it != lock_owners_.end();) {
+        if (it->first.first == pid)
+            it = lock_owners_.erase(it);
+        else
+            ++it;
+    }
+}
+
+std::uint64_t
+CBoard::releaseLocksOwnedBy(NodeId cn)
+{
+    // Functional (zero-time) release: the controller's GC runs on the
+    // board's ARM, off the data path. The map is ordered, so memory is
+    // written in a deterministic order.
+    std::uint64_t released = 0;
+    for (auto it = lock_owners_.begin(); it != lock_owners_.end();) {
+        if (it->second != cn) {
+            ++it;
+            continue;
+        }
+        const auto [pid, va] = it->first;
+        const std::uint64_t page_size = cfg_.page_table.page_size;
+        const Pte *pte = page_table_.lookup(pid, va / page_size);
+        if (pte && pte->present)
+            memory_.write64(pte->frame + va % page_size, 0);
+        it = lock_owners_.erase(it);
+        released++;
+    }
+    stats_.locks_reclaimed += released;
+    return released;
+}
+
+void
+CBoard::startHeartbeats(NodeId controller, Tick period, Tick phase)
+{
+    clio_assert(period > 0, "heartbeat period must be positive");
+    hb_controller_ = controller;
+    hb_period_ = period;
+    if (hb_running_)
+        return;
+    hb_running_ = true;
+    eq_.scheduleAfter(phase, [this] { heartbeatTick(); });
+}
+
+void
+CBoard::heartbeatTick()
+{
+    // The tick always reschedules; a crashed board just stays silent,
+    // so beacons resume by themselves after restart().
+    if (alive_) {
+        auto hb = std::make_shared<HeartbeatMsg>();
+        hb->node = node_;
+        hb->seq = ++hb_seq_;
+        hb->epoch = epoch_fence_;
+        hb->incarnation = incarnation_;
+        Packet pkt;
+        pkt.src = node_;
+        pkt.dst = hb_controller_;
+        pkt.type = MsgType::kHeartbeat;
+        pkt.priority = true; // control lane: never queue behind bulk data
+        pkt.wire_bytes = kPacketHeaderBytes + 24;
+        pkt.msg = std::move(hb);
+        net_.send(std::move(pkt));
+        stats_.heartbeats_sent++;
+    }
+    eq_.scheduleAfter(hb_period_, [this] { heartbeatTick(); });
 }
 
 std::uint64_t

@@ -71,6 +71,12 @@ struct CBoardStats
     std::uint64_t crashes = 0;
     /** Duplicated request packets dropped by the per-part bitmap. */
     std::uint64_t dup_parts_dropped = 0;
+    /** Liveness beacons emitted (health plane). */
+    std::uint64_t heartbeats_sent = 0;
+    /** Requests rejected for carrying a stale membership epoch. */
+    std::uint64_t epoch_fenced = 0;
+    /** Locks force-released by the controller's CN-death GC. */
+    std::uint64_t locks_reclaimed = 0;
 };
 
 /** The hardware memory node. */
@@ -188,6 +194,31 @@ class CBoard
     void restart();
     /** @} */
 
+    /** @{ Health plane. The epoch fence rejects every request stamped
+     * with an epoch older than `epoch`: the controller sets it when a
+     * board rejoins after being declared dead, so clients that have
+     * not yet learned of the new membership cannot write to the
+     * zombie's (empty) address space (split-brain prevention). A fence
+     * of 0 — the boot/restart value — never fences. */
+    void setEpochFence(std::uint64_t epoch) { epoch_fence_ = epoch; }
+    std::uint64_t epochFence() const { return epoch_fence_; }
+    /** Start emitting liveness beacons to `controller` every `period`
+     * ticks, first one at `phase` (staggered per board). Beacons are
+     * real packets through the fabric, so rack kills and fault windows
+     * genuinely delay or drop them. */
+    void startHeartbeats(NodeId controller, Tick period, Tick phase);
+    /** Monotonic restart count, carried in heartbeats so the
+     * controller can spot a crash+restart inside one lease window. */
+    std::uint64_t incarnation() const { return incarnation_; }
+
+    /**
+     * Force-release every lock owned by CN `cn` (controller GC after a
+     * CN death): the lock word is functionally written back to 0 so
+     * surviving clients can acquire it. @return locks released.
+     */
+    std::uint64_t releaseLocksOwnedBy(NodeId cn);
+    /** @} */
+
     /** Offload VM access used by OffloadVm (translate + move bytes).
      * @param start the offload's logical time (>= now; an invocation
      *        accumulates cost ahead of the simulation clock).
@@ -229,6 +260,9 @@ class CBoard
 
     /** Ingress from the network. */
     void onPacket(Packet pkt);
+
+    /** Self-rescheduling heartbeat emission. */
+    void heartbeatTick();
 
     /** Handle one fast-path packet (read/write slice/atomic/fence). */
     void fastPathPacket(const Packet &pkt, Inflight &inflight);
@@ -319,6 +353,18 @@ class CBoard
 
     std::function<bool(ProcId, std::uint64_t)> window_request_;
     bool windowed_mode_ = false;
+
+    /** @{ Health-plane state. Lock ownership is an ordered map so the
+     * CN-death GC iterates (and thus writes memory) in a deterministic
+     * order; keyed (pid, lock VA), value = owning CN's node. */
+    std::map<std::pair<ProcId, VirtAddr>, NodeId> lock_owners_;
+    std::uint64_t epoch_fence_ = 0;
+    std::uint64_t incarnation_ = 0;
+    NodeId hb_controller_ = 0;
+    Tick hb_period_ = 0;
+    std::uint64_t hb_seq_ = 0;
+    bool hb_running_ = false;
+    /** @} */
 
     CBoardStats stats_;
 };

@@ -36,6 +36,20 @@ FaultPlan::restoreRack(Tick at, RackId rack)
 }
 
 FaultPlan &
+FaultPlan::crashCn(Tick at, std::uint32_t cn_idx)
+{
+    actions_.push_back({at, FaultAction::Kind::kCrashCn, cn_idx});
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::restartCn(Tick at, std::uint32_t cn_idx)
+{
+    actions_.push_back({at, FaultAction::Kind::kRestartCn, cn_idx});
+    return *this;
+}
+
+FaultPlan &
 FaultPlan::packetFaults(const PacketFaultWindow &window)
 {
     clio_assert(window.end > window.start,
@@ -103,6 +117,73 @@ FaultPlan::randomized(std::uint64_t seed, const RandomOpts &opts)
         w.duplicate_rate = opts.duplicate_rate;
         plan.packetFaults(w);
     }
+
+    // Every extension below draws from the rng only when its knob is
+    // set, strictly after all the draws above — schedules that don't
+    // use the new knobs replay byte-identically to older builds.
+    if (opts.cn_crashes > 0 && !opts.cn_candidates.empty()) {
+        std::vector<std::uint32_t> cn_victims = opts.cn_candidates;
+        for (std::size_t i = cn_victims.size(); i > 1; i--) {
+            const std::size_t j =
+                static_cast<std::size_t>(rng.uniformInt(i));
+            std::swap(cn_victims[i - 1], cn_victims[j]);
+        }
+        const std::uint32_t n = std::min<std::uint32_t>(
+            opts.cn_crashes,
+            static_cast<std::uint32_t>(cn_victims.size()));
+        for (std::uint32_t i = 0; i < n; i++) {
+            const Tick at = rng.uniformRange(opts.duration / 10,
+                                             (opts.duration * 7) / 10);
+            Tick down = opts.max_downtime > opts.min_downtime
+                            ? rng.uniformRange(opts.min_downtime,
+                                               opts.max_downtime)
+                            : opts.min_downtime;
+            Tick back = at + std::max<Tick>(down, 1);
+            if (back >= opts.duration)
+                back = opts.duration - 1;
+            plan.crashCn(at, cn_victims[i]);
+            plan.restartCn(std::max(back, at + 1), cn_victims[i]);
+        }
+    }
+
+    if (opts.rack_kills > 0 && !opts.rack_candidates.empty()) {
+        std::vector<std::uint32_t> racks = opts.rack_candidates;
+        for (std::size_t i = racks.size(); i > 1; i--) {
+            const std::size_t j =
+                static_cast<std::size_t>(rng.uniformInt(i));
+            std::swap(racks[i - 1], racks[j]);
+        }
+        const std::uint32_t n = std::min<std::uint32_t>(
+            opts.rack_kills, static_cast<std::uint32_t>(racks.size()));
+        for (std::uint32_t i = 0; i < n; i++) {
+            const Tick at = rng.uniformRange(opts.duration / 10,
+                                             (opts.duration * 7) / 10);
+            Tick down = opts.max_downtime > opts.min_downtime
+                            ? rng.uniformRange(opts.min_downtime,
+                                               opts.max_downtime)
+                            : opts.min_downtime;
+            Tick back = at + std::max<Tick>(down, 1);
+            if (back >= opts.duration)
+                back = opts.duration - 1;
+            plan.killRack(at, racks[i]);
+            plan.restoreRack(std::max(back, at + 1), racks[i]);
+        }
+    }
+
+    if (opts.hb_loss_rate > 0 && opts.hb_loss_duration > 0) {
+        const Tick len =
+            std::min(opts.hb_loss_duration, opts.duration - 1);
+        const Tick start =
+            rng.uniformRange(opts.duration / 10,
+                             std::max<Tick>(opts.duration / 10 + 1,
+                                            opts.duration - len));
+        PacketFaultWindow w;
+        w.start = start;
+        w.end = std::min<Tick>(start + len, opts.duration);
+        w.drop_rate = opts.hb_loss_rate;
+        w.heartbeats_only = true;
+        plan.packetFaults(w);
+    }
     return plan;
 }
 
@@ -165,19 +246,28 @@ FaultInjector::fire(const FaultAction &action)
         cluster_.restoreRack(action.target);
         stats_.rack_restores++;
         break;
+      case FaultAction::Kind::kCrashCn:
+        cluster_.crashCn(action.target);
+        stats_.cn_crashes++;
+        break;
+      case FaultAction::Kind::kRestartCn:
+        cluster_.restartCn(action.target);
+        stats_.cn_restarts++;
+        break;
     }
 }
 
 FaultVerdict
 FaultInjector::onStage(const Packet &pkt, NetStage stage)
 {
-    (void)pkt;
     (void)stage;
     FaultVerdict v;
     const Tick now = cluster_.eventQueue().now();
     for (const PacketFaultWindow &w : plan_.windows()) {
         if (now < w.start || now >= w.end)
             continue;
+        if (w.heartbeats_only && pkt.type != MsgType::kHeartbeat)
+            continue; // no draw: data packets don't consume rng state
         // One Bernoulli draw per configured fault per active window:
         // the draw sequence depends only on packet traversal order,
         // which is itself deterministic.

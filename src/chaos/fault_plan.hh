@@ -42,11 +42,13 @@ struct FaultAction
         kCrashMn,    ///< kill one MN board (volatile state lost)
         kRestartMn,  ///< bring a crashed board back (empty)
         kKillRack,   ///< ToR dies: the rack's MNs crash, traffic drops
-        kRestoreRack ///< ToR + the rack's MNs come back
+        kRestoreRack,///< ToR + the rack's MNs come back
+        kCrashCn,    ///< kill one CN (its processes die mid-request)
+        kRestartCn   ///< bring a crashed CN back (fresh transport)
     };
     Tick at = 0;
     Kind kind = Kind::kCrashMn;
-    /** MN index (crash/restart) or rack id (kill/restore). */
+    /** MN/CN index (crash/restart) or rack id (kill/restore). */
     std::uint32_t target = 0;
 };
 
@@ -60,6 +62,10 @@ struct PacketFaultWindow
     double duplicate_rate = 0.0;
     /** Extra delivery delay added to every packet in the window. */
     Tick extra_delay = 0;
+    /** Apply only to heartbeat packets (lease-loss windows: starves
+     * the failure detector while data traffic flows untouched, the
+     * classic false-positive scenario for lease protocols). */
+    bool heartbeats_only = false;
 };
 
 /** Counters of what an armed injector actually did. */
@@ -69,6 +75,8 @@ struct ChaosStats
     std::uint64_t restarts = 0;
     std::uint64_t rack_kills = 0;
     std::uint64_t rack_restores = 0;
+    std::uint64_t cn_crashes = 0;
+    std::uint64_t cn_restarts = 0;
     std::uint64_t drops = 0;
     std::uint64_t corrupts = 0;
     std::uint64_t duplicates = 0;
@@ -84,6 +92,8 @@ class FaultPlan
     FaultPlan &restartMn(Tick at, std::uint32_t mn_idx);
     FaultPlan &killRack(Tick at, RackId rack);
     FaultPlan &restoreRack(Tick at, RackId rack);
+    FaultPlan &crashCn(Tick at, std::uint32_t cn_idx);
+    FaultPlan &restartCn(Tick at, std::uint32_t cn_idx);
     FaultPlan &packetFaults(const PacketFaultWindow &window);
     /** @} */
 
@@ -113,6 +123,24 @@ class FaultPlan
         double drop_rate = 0.0;
         double corrupt_rate = 0.0;
         double duplicate_rate = 0.0;
+        /** @{ CN crash+restart pairs (like the MN knobs above). The
+         * extra RNG draws happen strictly AFTER every draw the base
+         * schedule makes, and only when cn_crashes > 0 — plans that
+         * don't ask for them replay byte-identically to before these
+         * knobs existed. */
+        std::vector<std::uint32_t> cn_candidates;
+        std::uint32_t cn_crashes = 0;
+        /** @} */
+        /** @{ Rack kill+restore pairs (same downtime bounds). */
+        std::vector<std::uint32_t> rack_candidates;
+        std::uint32_t rack_kills = 0;
+        /** @} */
+        /** @{ One heartbeat-only drop window of `hb_loss_duration`
+         * starting at a seed-derived time: starves the failure
+         * detector without touching data traffic. */
+        double hb_loss_rate = 0.0;
+        Tick hb_loss_duration = 0;
+        /** @} */
     };
 
     /**

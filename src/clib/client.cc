@@ -92,6 +92,7 @@ ClioClient::conflicts(const Footprint &a, const Footprint &b)
     return a.first_vpn <= b.last_vpn && b.first_vpn <= a.last_vpn;
 }
 
+
 HandlePtr
 ClioClient::submit(Op op)
 {

@@ -43,6 +43,7 @@ namespace clio {
 
 class CompletionQueue;
 class SubmissionBatch;
+class ReplicaRegistry;
 
 /**
  * Completion handle returned by asynchronous APIs. Complete it via
@@ -155,6 +156,17 @@ class ClioClient
 
     ProcId pid() const { return pid_; }
     CNode &cnode() { return cn_; }
+    const CNode &cnode() const { return cn_; }
+
+    /** @{ Controller-side replica registry (health plane): when set,
+     * ReplicatedRegions built over this client announce themselves so
+     * the controller can auto-re-replicate on MN death. */
+    void setReplicaRegistry(ReplicaRegistry *registry)
+    {
+        replica_registry_ = registry;
+    }
+    ReplicaRegistry *replicaRegistry() const { return replica_registry_; }
+    /** @} */
 
     /** Cluster hook choosing the MN for a new allocation (§4.7). */
     void
@@ -310,6 +322,7 @@ class ClioClient
     ProcId pid_;
     NodeId home_mn_;
     std::function<NodeId(std::uint64_t)> alloc_picker_;
+    ReplicaRegistry *replica_registry_ = nullptr;
 
     /** Region routing + allocation table, sorted by start. */
     std::vector<Region> regions_;

@@ -68,6 +68,7 @@ CNode::freeSlot(std::uint32_t slot)
     out.retries = 0;
     out.generation = 0;
     out.last_fail_timeout = false;
+    out.last_fail_fenced = false;
     out.resp_parts_seen = 0;
     out.resp_parts_total = 0;
     out.resp_seen_bits.clear();
@@ -79,6 +80,16 @@ void
 CNode::issue(std::shared_ptr<RequestMsg> req,
              std::uint64_t expected_resp_bytes, Completion cb)
 {
+    if (!alive_) {
+        // The node is down (health plane / chaos): the op fails
+        // immediately — its issuing process no longer exists.
+        stats_.failures++;
+        eq_.schedule(eq_.now() + cfg_.clib.recv_overhead,
+                     [cb = std::move(cb)] {
+                         cb(Status::kTimeout, {}, 0);
+                     });
+        return;
+    }
     const ReqId id = (static_cast<ReqId>(node_) << 40) | next_req_seq_++;
     req->req_id = id;
     req->orig_req_id = id;
@@ -94,6 +105,19 @@ CNode::issue(std::shared_ptr<RequestMsg> req,
     out_index_.emplace(id, slot);
     mn_wait_[mnIndex(mn)].push_back(id);
     trySend(mn);
+}
+
+
+void
+CNode::pumpWaiting()
+{
+    // The incast window is one credit pool shared by every
+    // destination: response bytes freed by a completion to one MN can
+    // unblock a request queued for a different MN. Waking only the
+    // completing MN's queue would strand the others forever (no timer
+    // re-arms a queued-but-untransmitted request), so pump them all.
+    for (std::size_t i = 0; i < mn_ids_.size(); i++)
+        trySend(mn_ids_[i]);
 }
 
 void
@@ -141,6 +165,10 @@ CNode::trySend(NodeId mn)
 void
 CNode::transmit(Outstanding &out)
 {
+    // Stamp the attempt with the CN's current membership epoch: a
+    // retry after an epoch refresh carries the new epoch, so one fence
+    // round-trip is enough to recover (§ self-healing control plane).
+    out.req->epoch = epoch_;
     const RequestMsg &req = *out.req;
     out.sent_at = eq_.now();
     out.generation++;
@@ -210,6 +238,7 @@ CNode::handleTimeout(ReqId attempt_id, std::uint64_t generation)
     stats_.timeouts++;
     const std::uint32_t slot = it->second;
     out_slots_[slot].last_fail_timeout = true;
+    out_slots_[slot].last_fail_fenced = false;
     out_index_.erase(it);
     retry(slot, true);
 }
@@ -242,9 +271,10 @@ CNode::retry(std::uint32_t slot, bool congestion_signal)
         // "extremely rare"). A timeout-caused exhaustion (dead or
         // unreachable MN) reports kTimeout so callers can distinguish
         // it from NACK/corruption storms (kRetryExceeded).
-        const Status status = out.last_fail_timeout
-                                  ? Status::kTimeout
-                                  : Status::kRetryExceeded;
+        const Status status =
+            out.last_fail_fenced ? Status::kEpochFenced
+            : out.last_fail_timeout ? Status::kTimeout
+                                    : Status::kRetryExceeded;
         warnMsg(detail::strfmt(
             "CN %u: request %llu to MN %u failed with %s after %u "
             "retries",
@@ -261,7 +291,7 @@ CNode::retry(std::uint32_t slot, bool congestion_signal)
             cb(status, {}, 0);
         });
         freeSlot(slot);
-        trySend(mn);
+        pumpWaiting();
         return;
     }
     stats_.retries++;
@@ -291,11 +321,16 @@ CNode::retry(std::uint32_t slot, bool congestion_signal)
     if (backoff == 0) {
         transmit(out);
     } else {
-        // Safe: nothing can free or retry this slot before the event
-        // fires — the fresh attempt id has no packets in flight yet
-        // and its timeout is only armed by transmit().
-        eq_.scheduleAfter(backoff,
-                          [this, slot] { transmit(out_slots_[slot]); });
+        // The slot can only be invalidated before the event fires by a
+        // CN crash (which fails and recycles every active slot), so
+        // re-check that the slot still owns this attempt id.
+        const ReqId rid = out.req->req_id;
+        eq_.scheduleAfter(backoff, [this, slot, rid] {
+            auto jt = out_index_.find(rid);
+            if (jt == out_index_.end() || jt->second != slot)
+                return;
+            transmit(out_slots_[slot]);
+        });
     }
 }
 
@@ -327,6 +362,8 @@ CNode::updateCwnd(NodeId mn, Tick rtt)
 void
 CNode::onPacket(Packet pkt)
 {
+    if (!alive_)
+        return; // dead NIC: deliveries in flight are lost
     auto it = out_index_.find(pkt.req_id);
     if (it == out_index_.end())
         return; // stale response (e.g. the original after a retry won)
@@ -337,6 +374,7 @@ CNode::onPacket(Packet pkt)
         // MN's link layer saw a corrupted packet of our request (§4.4).
         stats_.nacks++;
         out.last_fail_timeout = false;
+        out.last_fail_fenced = false;
         out_index_.erase(it);
         retry(slot, false);
         return;
@@ -390,6 +428,27 @@ CNode::onPacket(Packet pkt)
     if (out.resp_corrupted) {
         // Checksum failure on the response: retry the whole request.
         out.last_fail_timeout = false;
+        out.last_fail_fenced = false;
+        out_index_.erase(it);
+        retry(slot, false);
+        return;
+    }
+
+    if (out.resp->status == Status::kEpochFenced) {
+        // The MN rejoined at a newer epoch than this attempt carried.
+        // Refresh our membership view from the controller (modeled as
+        // an instantaneous control-plane RPC) and retry — the fresh
+        // attempt is stamped with the new epoch by transmit(). Only
+        // when retries run out does kEpochFenced surface to the app.
+        if (epoch_refresh_) {
+            const std::uint64_t e = epoch_refresh_();
+            if (e > epoch_) {
+                epoch_ = e;
+                stats_.epoch_refreshes++;
+            }
+        }
+        out.last_fail_timeout = false;
+        out.last_fail_fenced = true;
         out_index_.erase(it);
         retry(slot, false);
         return;
@@ -412,7 +471,96 @@ CNode::onPacket(Packet pkt)
     eq_.schedule(deliver, [cb = std::move(cb), resp] {
         cb(resp->status, resp->data, resp->value);
     });
-    trySend(mn);
+    pumpWaiting();
+}
+
+void
+CNode::crash()
+{
+    if (!alive_)
+        return;
+    alive_ = false;
+    stats_.crashes++;
+    // Fail every outstanding request: the issuing processes died with
+    // the node, but completions must still fire so callers pumping the
+    // event queue unwind instead of hanging. Walk slots in index order
+    // — the id map's iteration order is not deterministic.
+    for (std::uint32_t slot = 0;
+         slot < static_cast<std::uint32_t>(out_slots_.size()); slot++) {
+        Outstanding &out = out_slots_[slot];
+        if (!out.cb)
+            continue; // free, or already completed
+        stats_.failures++;
+        auto cb = std::move(out.cb);
+        eq_.schedule(eq_.now() + cfg_.clib.recv_overhead,
+                     [cb = std::move(cb)] {
+                         cb(Status::kTimeout, {}, 0);
+                     });
+        freeSlot(slot);
+    }
+    out_index_.clear();
+    for (auto &wait : mn_wait_)
+        wait.clear();
+    for (auto &st : mn_state_) {
+        st.inflight = 0;
+        st.next_send_allowed = 0;
+    }
+    iwnd_used_ = 0;
+}
+
+void
+CNode::restart()
+{
+    if (alive_)
+        return;
+    alive_ = true;
+    incarnation_++;
+    hb_seq_ = 0;
+    // Congestion state restarts from scratch, like a rebooted kernel.
+    for (auto &st : mn_state_) {
+        PerMn fresh;
+        fresh.cwnd = cfg_.clib.cwnd_init;
+        st = fresh;
+    }
+    // No membership view until the controller pushes one (or an MN
+    // fence forces a refresh).
+    epoch_ = 0;
+}
+
+void
+CNode::startHeartbeats(NodeId controller, Tick period, Tick phase)
+{
+    clio_assert(period > 0, "heartbeat period must be positive");
+    hb_controller_ = controller;
+    hb_period_ = period;
+    if (hb_running_)
+        return;
+    hb_running_ = true;
+    eq_.scheduleAfter(phase, [this] { heartbeatTick(); });
+}
+
+void
+CNode::heartbeatTick()
+{
+    // The tick always reschedules; a dead node just stays silent, so
+    // beacons resume by themselves after restart().
+    if (alive_) {
+        auto hb = std::make_shared<HeartbeatMsg>();
+        hb->node = node_;
+        hb->seq = ++hb_seq_;
+        hb->epoch = epoch_;
+        hb->incarnation = incarnation_;
+        Packet pkt;
+        pkt.src = node_;
+        pkt.dst = hb_controller_;
+        pkt.type = MsgType::kHeartbeat;
+        pkt.priority = true; // control lane: never queue behind bulk data
+        pkt.wire_bytes = kPacketHeaderBytes + 24;
+        pkt.msg = std::move(hb);
+        net_.send(std::move(pkt));
+        stats_.heartbeats_sent++;
+    }
+    eq_.scheduleAfter(hb_period_, [this] { heartbeatTick(); });
 }
 
 } // namespace clio

@@ -52,6 +52,9 @@ struct CNodeStats
     std::uint64_t timeouts = 0;
     std::uint64_t failures = 0; ///< kRetryExceeded surfaced to apps
     std::uint64_t cwnd_decreases = 0;
+    std::uint64_t epoch_refreshes = 0; ///< kEpochFenced-triggered refreshes
+    std::uint64_t heartbeats_sent = 0;
+    std::uint64_t crashes = 0;
 };
 
 /** One compute node: NIC + CLib transport shared by its processes. */
@@ -84,6 +87,37 @@ class CNode
     const CNodeStats &stats() const { return stats_; }
     LatencyHistogram &rttHistogram() { return rtt_hist_; }
 
+    /** @{ Membership epoch (health plane). Every attempt is stamped
+     * with the CN's current epoch; an MN that rejoined after this
+     * epoch fences the request with kEpochFenced. The refresh hook
+     * models the CN re-fetching the current epoch from the controller
+     * when fenced (a control-plane RPC, modeled as instantaneous). */
+    void setEpoch(std::uint64_t epoch) { epoch_ = epoch; }
+    std::uint64_t epoch() const { return epoch_; }
+    void setEpochRefresh(std::function<std::uint64_t()> hook)
+    {
+        epoch_refresh_ = std::move(hook);
+    }
+    /** @} */
+
+    /** @{ CN process-level failure (health plane / chaos). crash()
+     * fails every outstanding request with kTimeout (their issuing
+     * processes died; completions fire so pumping callers unwind) and
+     * stops heartbeats; restart() resumes with fresh transport state. */
+    bool alive() const { return alive_; }
+    void crash();
+    void restart();
+    /** @} */
+
+    /** Start emitting liveness beacons to `controller` every `period`
+     * ticks, first one at `phase` (staggered per node so beacons never
+     * synchronize). Beacons are real packets through the fabric. */
+    void startHeartbeats(NodeId controller, Tick period, Tick phase);
+
+    /** Monotonic restart count, carried in heartbeats so the
+     * controller can spot a crash+restart that fit inside one lease. */
+    std::uint64_t incarnation() const { return incarnation_; }
+
     /** Current congestion window toward an MN (test/bench hook). */
     double cwnd(NodeId mn) const;
 
@@ -109,6 +143,9 @@ class CNode
          * NACK/corruption) — decides kTimeout vs kRetryExceeded when
          * retries are exhausted. */
         bool last_fail_timeout = false;
+        /** Whether the most recent failed attempt was epoch-fenced by
+         * the MN; surfaced as kEpochFenced on exhaustion. */
+        bool last_fail_fenced = false;
         /** Response reassembly (T1). */
         std::uint32_t resp_parts_seen = 0;
         std::uint32_t resp_parts_total = 0;
@@ -135,7 +172,10 @@ class CNode
     static_assert(std::is_trivially_copyable_v<PerMn>);
 
     void onPacket(Packet pkt);
+    /** Re-pump every per-MN wait queue (shared-iwnd wakeup). */
+    void pumpWaiting();
     void trySend(NodeId mn);
+    void heartbeatTick();
     /** Retry timeout for one request (type-dependent, §4.5). */
     Tick timeoutFor(const RequestMsg &req) const;
     void transmit(Outstanding &out);
@@ -175,6 +215,17 @@ class CNode
 
     std::uint64_t next_req_seq_ = 1;
     std::uint64_t iwnd_used_ = 0;
+
+    /** @{ Health-plane state. */
+    bool alive_ = true;
+    std::uint64_t epoch_ = 0;
+    std::function<std::uint64_t()> epoch_refresh_;
+    std::uint64_t incarnation_ = 0;
+    NodeId hb_controller_ = 0;
+    Tick hb_period_ = 0;
+    std::uint64_t hb_seq_ = 0;
+    bool hb_running_ = false;
+    /** @} */
 
     MessagePool<RequestMsg> req_pool_;
     MessagePool<RequestHandle> handle_pool_;

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "clib/client.hh"
@@ -110,10 +111,28 @@ class CompletionQueue
      */
     void deliver(const HandlePtr &handle);
 
+    /**
+     * Install a hook scheduled (as a zero-delay event, so it never
+     * re-enters client internals mid-completion) after completions are
+     * delivered; at most one pending invocation at a time. This is
+     * what lets a poll-driven state machine (e.g. the auto-resync
+     * engine) advance event-driven instead of busy-polling.
+     */
+    void setDrainHook(std::function<void()> hook)
+    {
+        drain_hook_ = std::move(hook);
+    }
+
   private:
     EventQueue &eq_;
     std::deque<Completion> ready_;
     std::size_t outstanding_ = 0;
+    std::function<void()> drain_hook_;
+    bool drain_scheduled_ = false;
+    /** Expiry token for the scheduled drain event (it captures
+     * `this`; destruction must make a pending event inert). */
+    std::shared_ptr<const bool> alive_token_ =
+        std::make_shared<const bool>(true);
 };
 
 /**

@@ -1,16 +1,17 @@
 #include "clib/replication.hh"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
-#include "clib/queue.hh"
 #include "sim/logging.hh"
 
 namespace clio {
 
 ReplicatedRegion::ReplicatedRegion(ClioClient &client, std::uint64_t size,
                                    NodeId primary_mn, NodeId backup_mn)
-    : client_(client), size_(size)
+    : client_(client), size_(size), primary_mn_(primary_mn),
+      backup_mn_(backup_mn), resync_cq_(client.cnode().eventQueue())
 {
     clio_assert(primary_mn != backup_mn,
                 "replicas must live on distinct MNs");
@@ -24,6 +25,23 @@ ReplicatedRegion::ReplicatedRegion(ClioClient &client, std::uint64_t size,
         primary_ = out.completions[p].value;
     if (out.completions[b].ok())
         backup_ = out.completions[b].value;
+
+    resync_cq_.setDrainHook([this] { pumpResync(); });
+    if (ok() && client_.replicaRegistry() != nullptr) {
+        client_.replicaRegistry()->addRegion(this);
+        registered_ = true;
+    }
+}
+
+ReplicatedRegion::~ReplicatedRegion()
+{
+    if (registered_) {
+        client_.replicaRegistry()->removeRegion(this);
+        registered_ = false;
+    }
+    // Destroying mid-resync trips resync_cq_'s outstanding-watch
+    // assertion — loud, by design: the controller must abort or finish
+    // a resync before the region goes away.
 }
 
 Status
@@ -45,6 +63,17 @@ ReplicatedRegion::write(std::uint64_t offset, const void *src,
     }
     if (batch.empty())
         return Status::kRetryExceeded; // both replicas failed
+    if (resync_.active && !resync_.aborting && resync_.target_va != 0 &&
+        offset < resync_.read_issued_end) {
+        // Mirror into the resync target: its copied (or read-issued)
+        // prefix would otherwise go stale. T2 serializes this mirror
+        // after any conflicting chunk copy-write (WAW on the target
+        // VA), so the target converges to the latest data; writes
+        // entirely beyond the issued prefix are picked up by the
+        // chunk reads themselves. The mirror's own completion does
+        // not gate the foreground write's success.
+        batch.write(resync_.target_va + offset, src, len);
+    }
     const BatchOutcome out = batch.submitAndWait();
     // A replica that exhausted retries is marked failed; the write
     // succeeds if at least one replica holds the data (degraded mode).
@@ -80,6 +109,8 @@ ReplicatedRegion::read(std::uint64_t offset, void *dst, std::uint64_t len)
 Status
 ReplicatedRegion::heal(NodeId replacement_mn)
 {
+    if (resync_.active)
+        return Status::kRetryExceeded; // controller resync owns the slot
     if (primary_alive_ && backup_alive_)
         return Status::kOk; // nothing to heal
     if (!primary_alive_ && !backup_alive_)
@@ -99,13 +130,23 @@ ReplicatedRegion::heal(NodeId replacement_mn)
     // Stream the surviving copy over in bounded chunks (the copy is a
     // client-driven read+write pipeline, like the paper's suggested
     // user-level replication service would run).
-    constexpr std::uint64_t kChunk = 256 * KiB;
-    std::vector<std::uint8_t> buf(std::min<std::uint64_t>(kChunk, size_));
-    for (std::uint64_t off = 0; off < size_; off += kChunk) {
-        const std::uint64_t n = std::min<std::uint64_t>(kChunk, size_ - off);
+    const std::uint64_t chunk = std::max<std::uint64_t>(
+        1, client_.cnode().config().clib.resync_chunk_bytes);
+    std::vector<std::uint8_t> buf(std::min<std::uint64_t>(chunk, size_));
+    for (std::uint64_t off = 0; off < size_; off += chunk) {
+        const std::uint64_t n = std::min<std::uint64_t>(chunk, size_ - off);
         Status st = client_.rread(survivor + off, buf.data(), n);
-        if (st != Status::kOk)
-            return st;
+        if (st != Status::kOk) {
+            // The SURVIVOR died mid-copy: abandon the half-copied
+            // replacement — it must never be marked healthy — and
+            // mark the source slot dead so callers see the region as
+            // lost rather than retrying reads against a dead board.
+            if (primary_alive_)
+                primary_alive_ = false;
+            else
+                backup_alive_ = false;
+            return Status::kTimeout;
+        }
         st = client_.rwrite(fresh + off, buf.data(), n);
         if (st != Status::kOk)
             return st;
@@ -115,9 +156,11 @@ ReplicatedRegion::heal(NodeId replacement_mn)
     // the board that held it lost all volatile state when it crashed.
     if (!primary_alive_) {
         primary_ = fresh;
+        primary_mn_ = replacement_mn;
         primary_alive_ = true;
     } else {
         backup_ = fresh;
+        backup_mn_ = replacement_mn;
         backup_alive_ = true;
     }
     resyncs_++;
@@ -125,8 +168,152 @@ ReplicatedRegion::heal(NodeId replacement_mn)
 }
 
 void
+ReplicatedRegion::markMnDead(NodeId mn)
+{
+    if (primary_mn_ == mn)
+        primary_alive_ = false;
+    if (backup_mn_ == mn)
+        backup_alive_ = false;
+    // An active resync whose target just died, or whose source (the
+    // survivor) did, cannot complete: fail it at its next completion
+    // event (exactly one op is always in flight while active).
+    if (resync_.active && (resync_.target_mn == mn || bothDead()))
+        resync_.aborting = true;
+}
+
+bool
+ReplicatedRegion::beginResync(NodeId replacement_mn,
+                              std::function<void(bool)> done)
+{
+    if (resync_.active || !degraded() || bothDead())
+        return false;
+    const VirtAddr survivor = primary_alive_ ? primary_ : backup_;
+    if (client_.mnFor(survivor) == replacement_mn)
+        return false;
+    resync_.active = true;
+    resync_.aborting = false;
+    resync_.target_mn = replacement_mn;
+    resync_.target_va = 0;
+    resync_.chunk = std::max<std::uint64_t>(
+        1, client_.cnode().config().clib.resync_chunk_bytes);
+    resync_.read_issued_end = 0;
+    resync_.cur_off = 0;
+    resync_.cur_len = 0;
+    resync_.done = std::move(done);
+    resync_cq_.watch(client_.rallocAsync(size_, kPermReadWrite, false,
+                                         replacement_mn),
+                     kTagAlloc);
+    return true;
+}
+
+void
+ReplicatedRegion::pumpResync()
+{
+    // Exactly one resync op is in flight at a time, so one completion
+    // is expected per pump; the loop also drains stale entries that
+    // land after an abort.
+    for (Completion &c : resync_cq_.poll(16)) {
+        if (!resync_.active)
+            continue; // stale completion after an abort finished
+        if (resync_.aborting) {
+            finishResync(false);
+            continue;
+        }
+        switch (c.tag) {
+          case kTagAlloc:
+            if (!c.ok()) {
+                finishResync(false);
+                break;
+            }
+            resync_.target_va = c.value;
+            issueResyncRead();
+            break;
+          case kTagRead:
+            if (!c.ok()) {
+                // The SURVIVOR died mid-copy: no healthy source left.
+                // The half-copied target is abandoned, never marked
+                // healthy (same contract as heal()).
+                if (primary_alive_)
+                    primary_alive_ = false;
+                else
+                    backup_alive_ = false;
+                finishResync(false);
+                break;
+            }
+            resync_cq_.watch(
+                client_.rwriteAsync(resync_.target_va + resync_.cur_off,
+                                    resync_.buf.data(), resync_.cur_len),
+                kTagWrite);
+            break;
+          case kTagWrite:
+            if (!c.ok()) {
+                finishResync(false); // target died mid-copy
+                break;
+            }
+            issueResyncRead();
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+void
+ReplicatedRegion::issueResyncRead()
+{
+    if (resync_.read_issued_end >= size_) {
+        // The last copy-write landed, and every foreground write that
+        // raced the copy mirrored into the target: swap it into the
+        // dead slot — the region is fully redundant again.
+        if (!primary_alive_) {
+            primary_ = resync_.target_va;
+            primary_mn_ = resync_.target_mn;
+            primary_alive_ = true;
+        } else {
+            backup_ = resync_.target_va;
+            backup_mn_ = resync_.target_mn;
+            backup_alive_ = true;
+        }
+        resyncs_++;
+        finishResync(true);
+        return;
+    }
+    const VirtAddr survivor = primary_alive_ ? primary_ : backup_;
+    resync_.cur_off = resync_.read_issued_end;
+    resync_.cur_len = std::min(resync_.chunk, size_ - resync_.cur_off);
+    resync_.read_issued_end = resync_.cur_off + resync_.cur_len;
+    resync_.buf.resize(resync_.cur_len);
+    resync_cq_.watch(client_.rreadAsync(survivor + resync_.cur_off,
+                                        resync_.buf.data(),
+                                        resync_.cur_len),
+                     kTagRead);
+}
+
+void
+ReplicatedRegion::finishResync(bool success)
+{
+    // On failure the target VA is abandoned: either its board is dead
+    // (nothing to free) or the source died (the controller will find
+    // the region bothDead and give up anyway).
+    resync_.active = false;
+    resync_.aborting = false;
+    resync_.target_mn = 0;
+    resync_.target_va = 0;
+    auto done = std::move(resync_.done);
+    resync_.done = nullptr;
+    if (done)
+        done(success);
+}
+
+void
 ReplicatedRegion::destroy()
 {
+    clio_assert(!resync_.active,
+                "destroying a region with a resync in flight");
+    if (registered_) {
+        client_.replicaRegistry()->removeRegion(this);
+        registered_ = false;
+    }
     if (primary_) {
         client_.rfree(primary_);
         primary_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "cluster/health.hh"
 #include "sim/logging.hh"
 
 namespace clio {
@@ -20,6 +21,8 @@ Cluster::Cluster(const ModelConfig &cfg, std::uint32_t num_cns,
     }
     for (std::uint32_t i = 0; i < num_cns; i++)
         cns_.push_back(std::make_unique<CNode>(eq_, net_, cfg_));
+    if (cfg_.health.enabled)
+        health_ = std::make_unique<HealthPlane>(*this);
 }
 
 Cluster::Cluster(const ModelConfig &cfg, const ClusterSpec &spec)
@@ -48,7 +51,11 @@ Cluster::Cluster(const ModelConfig &cfg, const ClusterSpec &spec)
             cns_.push_back(
                 std::make_unique<CNode>(eq_, net_, cfg_, rack));
     }
+    if (cfg_.health.enabled)
+        health_ = std::make_unique<HealthPlane>(*this);
 }
+
+Cluster::~Cluster() = default;
 
 void
 Cluster::attachMnHooks(std::uint32_t mn_idx, bool windowed)
@@ -143,6 +150,11 @@ Cluster::crashMn(std::uint32_t i)
         return;
     board.crash();
     net_.setNodeDown(board.nodeId(), true);
+    // With the health plane on, a crash is PHYSICAL only: membership
+    // reacts when the controller's lease on the board expires (real
+    // detection latency), via onMnDeclaredDead().
+    if (health_)
+        return;
     if (sharded_) {
         // The dead MN's vnodes leave the ring; affected pids re-probe
         // rack-first among the survivors (consistent hashing keeps
@@ -161,6 +173,10 @@ Cluster::restartMn(std::uint32_t i)
         return;
     board.restart();
     net_.setNodeDown(board.nodeId(), false);
+    // With the health plane on, membership reacts when the board's
+    // beacons reach the controller again (rejoin + epoch fence).
+    if (health_)
+        return;
     if (sharded_) {
         // Ring points are deterministic in (mn, replica), so re-adding
         // restores the pre-crash placement exactly and re-homed pids
@@ -168,6 +184,45 @@ Cluster::restartMn(std::uint32_t i)
         shard_map_.addMn(i, rackOfMn(i));
         rehomeAllPids();
     }
+}
+
+void
+Cluster::onMnDeclaredDead(std::uint32_t i)
+{
+    if (!sharded_)
+        return;
+    shard_map_.removeMn(i);
+    if (!shard_map_.empty())
+        rehomeAllPids();
+}
+
+void
+Cluster::onMnRejoined(std::uint32_t i)
+{
+    if (!sharded_)
+        return;
+    shard_map_.addMn(i, rackOfMn(i));
+    rehomeAllPids();
+}
+
+void
+Cluster::crashCn(std::uint32_t i)
+{
+    CNode &cn = *cns_.at(i);
+    if (!cn.alive())
+        return;
+    cn.crash();
+    net_.setNodeDown(cn.nodeId(), true);
+}
+
+void
+Cluster::restartCn(std::uint32_t i)
+{
+    CNode &cn = *cns_.at(i);
+    if (cn.alive())
+        return;
+    cn.restart();
+    net_.setNodeDown(cn.nodeId(), false);
 }
 
 void
@@ -223,6 +278,8 @@ Cluster::createClient(std::uint32_t cn_index)
     }
     auto client = std::make_unique<ClioClient>(
         cn(cn_index), pid, mns_[home]->nodeId());
+    if (health_)
+        client->setReplicaRegistry(health_.get());
     if (sharded_) {
         // Every allocation of the pid lands on its directory MN (a
         // migration rewrites routing via redirectRegion, not here).
@@ -248,6 +305,8 @@ Cluster::createSharedClient(std::uint32_t cn_index,
     auto client = std::make_unique<ClioClient>(
         cn(cn_index), base.pid(), base.mnFor(0));
     client->copyRoutingFrom(base);
+    if (health_)
+        client->setReplicaRegistry(health_.get());
     if (sharded_) {
         const ProcId pid = base.pid();
         client->setAllocPlacement([this, pid](std::uint64_t) {

@@ -30,6 +30,8 @@
 
 namespace clio {
 
+class HealthPlane;
+
 /**
  * Multi-rack cluster geometry. Each rack gets its own ToR (leaf)
  * switch; racks are joined through the spine (see net/network.hh).
@@ -79,6 +81,8 @@ class Cluster
      * per-region entries — per-process controller state stays O(1).
      */
     Cluster(const ModelConfig &cfg, const ClusterSpec &spec);
+
+    ~Cluster();
 
     EventQueue &eventQueue() { return eq_; }
     Network &network() { return net_; }
@@ -159,6 +163,27 @@ class Cluster
     void restartMn(std::uint32_t i);
     void killRack(RackId rack);
     void restoreRack(RackId rack);
+    /** CN process crash/restart (chaos / health plane). A crashed CN
+     * fails its outstanding requests, drops off the fabric, and stops
+     * heartbeating; with the health plane on, its lease expiry
+     * triggers lock + process GC on the MNs. */
+    bool cnAlive(std::uint32_t i) const { return cns_.at(i)->alive(); }
+    void crashCn(std::uint32_t i);
+    void restartCn(std::uint32_t i);
+    /** @} */
+
+    /** @{ Health plane (ModelConfig::health.enabled). When enabled,
+     * crashMn()/restartMn() only flip the physical state — membership
+     * (ring removal, re-homing, epoch bumps, auto-resync) reacts to
+     * the failure DETECTOR's verdicts, with real detection latency.
+     * Heartbeats self-reschedule forever, so drive health-enabled
+     * simulations with runUntilTime(), not run(). */
+    HealthPlane *health() { return health_.get(); }
+    bool healthEnabled() const { return health_ != nullptr; }
+    /** Controller placement reaction to a detector-declared MN death /
+     * rejoin (called by the health plane). */
+    void onMnDeclaredDead(std::uint32_t i);
+    void onMnRejoined(std::uint32_t i);
     /** @} */
 
   private:
@@ -223,6 +248,9 @@ class Cluster
     /** Directory: pid -> home MN index (4 bytes per process). */
     std::vector<std::uint32_t> pid_home_mn_;
     /** @} */
+
+    /** Controller health plane (null unless cfg.health.enabled). */
+    std::unique_ptr<HealthPlane> health_;
 };
 
 } // namespace clio

@@ -1,0 +1,521 @@
+#include "cluster/health.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "proto/messages.hh"
+#include "sim/logging.hh"
+
+namespace clio {
+
+const char *
+to_string(NodeHealth h)
+{
+    switch (h) {
+      case NodeHealth::kAlive:
+        return "Alive";
+      case NodeHealth::kSuspected:
+        return "Suspected";
+      case NodeHealth::kDead:
+        return "Dead";
+    }
+    return "?";
+}
+
+const char *
+to_string(HealthEvent::Kind k)
+{
+    switch (k) {
+      case HealthEvent::Kind::kSuspected:
+        return "Suspected";
+      case HealthEvent::Kind::kDead:
+        return "Dead";
+      case HealthEvent::Kind::kRejoined:
+        return "Rejoined";
+      case HealthEvent::Kind::kSilentRestart:
+        return "SilentRestart";
+      case HealthEvent::Kind::kResyncStarted:
+        return "ResyncStarted";
+      case HealthEvent::Kind::kResyncCompleted:
+        return "ResyncCompleted";
+      case HealthEvent::Kind::kResyncFailed:
+        return "ResyncFailed";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------
+// FailureDetector
+// ---------------------------------------------------------------------
+
+FailureDetector::FailureDetector(Tick suspect_after, Tick dead_after)
+    : suspect_after_(suspect_after), dead_after_(dead_after)
+{
+    clio_assert(suspect_after > 0 && dead_after > suspect_after,
+                "lease deadlines must satisfy 0 < suspect < dead");
+}
+
+FailureDetector::Entry *
+FailureDetector::find(NodeId node)
+{
+    for (Entry &e : entries_) {
+        if (e.node == node)
+            return &e;
+    }
+    return nullptr;
+}
+
+const FailureDetector::Entry *
+FailureDetector::find(NodeId node) const
+{
+    for (const Entry &e : entries_) {
+        if (e.node == node)
+            return &e;
+    }
+    return nullptr;
+}
+
+void
+FailureDetector::track(NodeId node, Tick now)
+{
+    clio_assert(find(node) == nullptr, "node %u tracked twice", node);
+    Entry e;
+    e.node = node;
+    e.last_beacon = now;
+    entries_.push_back(e);
+}
+
+BeaconOutcome
+FailureDetector::onBeacon(NodeId node, std::uint64_t incarnation,
+                          Tick now)
+{
+    Entry *e = find(node);
+    if (e == nullptr) {
+        track(node, now);
+        entries_.back().incarnation = incarnation;
+        return BeaconOutcome::kNone;
+    }
+    BeaconOutcome outcome = BeaconOutcome::kNone;
+    if (incarnation > e->incarnation) {
+        // The node rebooted since its last beacon. If its lease never
+        // expired, the crash+restart fit inside one window — volatile
+        // state is gone all the same, so the caller must run the full
+        // death + rejoin protocol.
+        outcome = e->state == NodeHealth::kDead ? BeaconOutcome::kRejoined
+                                                : BeaconOutcome::kRestarted;
+    } else if (e->state == NodeHealth::kDead) {
+        outcome = BeaconOutcome::kRejoined;
+    } else if (e->state == NodeHealth::kSuspected) {
+        outcome = BeaconOutcome::kRecovered;
+    }
+    e->incarnation = incarnation;
+    e->last_beacon = now;
+    e->state = NodeHealth::kAlive;
+    return outcome;
+}
+
+std::vector<HealthTransition>
+FailureDetector::sweep(Tick now)
+{
+    std::vector<HealthTransition> out;
+    for (Entry &e : entries_) {
+        if (e.state == NodeHealth::kAlive &&
+            now >= e.last_beacon + suspect_after_) {
+            out.push_back(
+                {e.node, NodeHealth::kAlive, NodeHealth::kSuspected});
+            e.state = NodeHealth::kSuspected;
+        }
+        if (e.state == NodeHealth::kSuspected &&
+            now >= e.last_beacon + dead_after_) {
+            out.push_back(
+                {e.node, NodeHealth::kSuspected, NodeHealth::kDead});
+            e.state = NodeHealth::kDead;
+        }
+    }
+    return out;
+}
+
+Tick
+FailureDetector::nextDeadline() const
+{
+    Tick deadline = kNoDeadline;
+    for (const Entry &e : entries_) {
+        if (e.state == NodeHealth::kAlive)
+            deadline = std::min(deadline, e.last_beacon + suspect_after_);
+        else if (e.state == NodeHealth::kSuspected)
+            deadline = std::min(deadline, e.last_beacon + dead_after_);
+    }
+    return deadline;
+}
+
+NodeHealth
+FailureDetector::stateOf(NodeId node) const
+{
+    const Entry *e = find(node);
+    clio_assert(e != nullptr, "node %u is not tracked", node);
+    return e->state;
+}
+
+Tick
+FailureDetector::lastBeacon(NodeId node) const
+{
+    const Entry *e = find(node);
+    clio_assert(e != nullptr, "node %u is not tracked", node);
+    return e->last_beacon;
+}
+
+// ---------------------------------------------------------------------
+// HealthPlane
+// ---------------------------------------------------------------------
+
+HealthPlane::HealthPlane(Cluster &cluster)
+    : cluster_(cluster), eq_(cluster.eventQueue()),
+      net_(cluster.network()), cfg_(cluster.config().health),
+      detector_(cfg_.suspect_after, cfg_.dead_after)
+{
+    clio_assert(cfg_.enabled, "health plane built while disabled");
+    clio_assert(cfg_.heartbeat_period > 0, "heartbeat period must be >0");
+    // The controller's NIC registers LAST: CN/MN node ids are exactly
+    // what they would be without the health plane. It lives in rack 0;
+    // chaos schedules that kill rack 0 take the controller with it
+    // (tests keep the controller's rack out of the kill set).
+    node_ = net_.addNode([this](Packet pkt) { onPacket(std::move(pkt)); });
+
+    // Phase-stagger the beacons so they never synchronize into a burst
+    // at the controller's link.
+    const std::uint32_t total = cluster_.mnCount() + cluster_.cnCount();
+    const Tick stagger =
+        std::max<Tick>(1, cfg_.heartbeat_period / (total + 1));
+    std::uint32_t slot = 0;
+    for (std::uint32_t i = 0; i < cluster_.mnCount(); i++) {
+        CBoard &mn = cluster_.mn(i);
+        members_[mn.nodeId()] = {true, i};
+        detector_.track(mn.nodeId(), eq_.now());
+        mn.startHeartbeats(node_, cfg_.heartbeat_period, ++slot * stagger);
+    }
+    for (std::uint32_t i = 0; i < cluster_.cnCount(); i++) {
+        CNode &cn = cluster_.cn(i);
+        members_[cn.nodeId()] = {false, i};
+        detector_.track(cn.nodeId(), eq_.now());
+        cn.setEpoch(epoch_);
+        // Fenced CNs re-fetch the epoch from the controller — a
+        // control-plane RPC modeled as instantaneous.
+        cn.setEpochRefresh([this] { return epoch_; });
+        cn.startHeartbeats(node_, cfg_.heartbeat_period, ++slot * stagger);
+    }
+    scheduleCheck();
+}
+
+void
+HealthPlane::onPacket(Packet pkt)
+{
+    if (pkt.type != MsgType::kHeartbeat)
+        return; // stray traffic (e.g. a chaos-duplicated data packet)
+    const auto &hb = static_cast<const HeartbeatMsg &>(*pkt.msg);
+    stats_.beacons++;
+    const BeaconOutcome outcome =
+        detector_.onBeacon(hb.node, hb.incarnation, eq_.now());
+    switch (outcome) {
+      case BeaconOutcome::kNone:
+      case BeaconOutcome::kRecovered:
+        break;
+      case BeaconOutcome::kRejoined:
+        onNodeRejoined(hb.node);
+        break;
+      case BeaconOutcome::kRestarted:
+        stats_.silent_restarts++;
+        logEvent(HealthEvent::Kind::kSilentRestart, hb.node);
+        onNodeDead(hb.node);
+        onNodeRejoined(hb.node);
+        break;
+    }
+    // The beacon moved its sender's lease deadline out.
+    scheduleCheck();
+}
+
+void
+HealthPlane::scheduleCheck()
+{
+    const Tick deadline = detector_.nextDeadline();
+    if (deadline == FailureDetector::kNoDeadline)
+        return; // nothing tracked is alive; beacons will re-arm us
+    const std::uint64_t gen = ++check_gen_;
+    const Tick when = std::max(deadline, eq_.now());
+    eq_.schedule(when, [this, gen] {
+        if (gen != check_gen_)
+            return; // superseded by a later beacon/reschedule
+        runSweep();
+    });
+}
+
+void
+HealthPlane::runSweep()
+{
+    for (const HealthTransition &t : detector_.sweep(eq_.now())) {
+        if (t.to == NodeHealth::kSuspected) {
+            stats_.suspects++;
+            logEvent(HealthEvent::Kind::kSuspected, t.node);
+        } else if (t.to == NodeHealth::kDead) {
+            onNodeDead(t.node);
+        }
+    }
+    scheduleCheck();
+}
+
+void
+HealthPlane::onNodeDead(NodeId node)
+{
+    const auto it = members_.find(node);
+    clio_assert(it != members_.end(), "death of unknown node %u", node);
+    // Every membership change bumps the epoch, whether or not anything
+    // downstream reacts: epochs order VIEWS, not repairs.
+    epoch_++;
+    stats_.deaths++;
+    logEvent(HealthEvent::Kind::kDead, node);
+    if (it->second.first) {
+        stats_.mn_deaths++;
+        onMnDead(it->second.second, node);
+    } else {
+        stats_.cn_deaths++;
+        onCnDead(node);
+    }
+}
+
+void
+HealthPlane::onNodeRejoined(NodeId node)
+{
+    const auto it = members_.find(node);
+    clio_assert(it != members_.end(), "rejoin of unknown node %u", node);
+    epoch_++;
+    stats_.rejoins++;
+    logEvent(HealthEvent::Kind::kRejoined, node);
+    if (it->second.first) {
+        // Fence the rejoined board at the rejoin epoch: requests from
+        // CNs still holding the pre-death view bounce (kEpochFenced)
+        // instead of landing in the zombie's empty address space.
+        CBoard &board = cluster_.mn(it->second.second);
+        board.setEpochFence(epoch_);
+        cluster_.onMnRejoined(it->second.second);
+    }
+    // A rejoined CN restarts with epoch 0 and refreshes on first fence.
+}
+
+void
+HealthPlane::onMnDead(std::uint32_t mn_index, NodeId node)
+{
+    // Controller placement reacts first (ring removal + re-homing)...
+    cluster_.onMnDeclaredDead(mn_index);
+    // ...then replica repair: mark dead replicas and queue resyncs, in
+    // region registration order.
+    for (RegionEntry &e : entries_) {
+        ReplicatedRegion *r = e.region;
+        r->markMnDead(node);
+        if (r->degraded() && !r->bothDead() && !r->resyncActive() &&
+            !e.queued)
+            queueResync(e);
+    }
+    pumpResyncQueue();
+}
+
+void
+HealthPlane::onCnDead(NodeId node)
+{
+    // Lease-based GC of what the dead CN's processes left on MNs.
+    // First the locks: surviving sharers must be able to acquire them.
+    for (std::uint32_t i = 0; i < cluster_.mnCount(); i++) {
+        CBoard &mn = cluster_.mn(i);
+        if (mn.alive())
+            stats_.locks_reclaimed += mn.releaseLocksOwnedBy(node);
+    }
+    // Then per-process state, but only for pids that lived EXCLUSIVELY
+    // on the dead CN — a pid shared with a surviving CN (shared RAS)
+    // is still in use.
+    std::map<ProcId, bool> exclusive;
+    for (std::uint32_t i = 0; i < cluster_.clientCount(); i++) {
+        ClioClient &c = cluster_.client(i);
+        const bool on_dead = c.cnode().nodeId() == node;
+        auto [slot, inserted] = exclusive.emplace(c.pid(), on_dead);
+        if (!inserted)
+            slot->second = slot->second && on_dead;
+    }
+    for (const auto &[pid, exclusively_dead] : exclusive) {
+        if (!exclusively_dead)
+            continue;
+        for (std::uint32_t i = 0; i < cluster_.mnCount(); i++) {
+            CBoard &mn = cluster_.mn(i);
+            if (mn.alive())
+                mn.destroyProcess(pid);
+        }
+        stats_.procs_destroyed++;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replica registry + resync orchestration
+// ---------------------------------------------------------------------
+
+void
+HealthPlane::addRegion(ReplicatedRegion *region)
+{
+    RegionEntry e;
+    e.region = region;
+    e.id = next_region_id_++;
+    entries_.push_back(e);
+}
+
+void
+HealthPlane::removeRegion(ReplicatedRegion *region)
+{
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->region != region)
+            continue;
+        const std::uint64_t id = it->id;
+        entries_.erase(it);
+        for (auto p = pending_.begin(); p != pending_.end();)
+            p = (*p == id) ? pending_.erase(p) : std::next(p);
+        return;
+    }
+}
+
+HealthPlane::RegionEntry *
+HealthPlane::findEntry(std::uint64_t id)
+{
+    for (RegionEntry &e : entries_) {
+        if (e.id == id)
+            return &e;
+    }
+    return nullptr;
+}
+
+void
+HealthPlane::queueResync(RegionEntry &entry)
+{
+    entry.queued = true;
+    pending_.push_back(entry.id);
+}
+
+void
+HealthPlane::pumpResyncQueue()
+{
+    while (active_resyncs_ < cfg_.max_concurrent_resyncs &&
+           !pending_.empty()) {
+        const std::uint64_t id = pending_.front();
+        pending_.pop_front();
+        RegionEntry *e = findEntry(id);
+        if (e == nullptr)
+            continue; // region destroyed while queued
+        ReplicatedRegion *r = e->region;
+        // A region whose owning CN is down belongs to a dead process;
+        // nothing to repair for it (a restarted process re-creates its
+        // own regions).
+        if (!r->degraded() || r->bothDead() || r->resyncActive() ||
+            !r->client().cnode().alive()) {
+            e->queued = false;
+            continue;
+        }
+        const NodeId replacement = pickReplacement(*r, id);
+        if (replacement == 0) {
+            // No candidate MN right now (e.g. a whole rack is down):
+            // retry after the backoff. The entry stays queued.
+            deferRequeue(id);
+            continue;
+        }
+        const bool started = r->beginResync(
+            replacement,
+            [this, id](bool success) { onResyncDone(id, success); });
+        if (!started) {
+            e->queued = false;
+            continue;
+        }
+        active_resyncs_++;
+        stats_.resyncs_started++;
+        logEvent(HealthEvent::Kind::kResyncStarted, replacement, id);
+    }
+}
+
+void
+HealthPlane::onResyncDone(std::uint64_t region_id, bool success)
+{
+    clio_assert(active_resyncs_ > 0, "resync completion underflow");
+    active_resyncs_--;
+    RegionEntry *e = findEntry(region_id);
+    if (success) {
+        stats_.resyncs_completed++;
+        logEvent(HealthEvent::Kind::kResyncCompleted, 0, region_id);
+        if (e != nullptr)
+            e->queued = false;
+    } else {
+        stats_.resyncs_failed++;
+        logEvent(HealthEvent::Kind::kResyncFailed, 0, region_id);
+        if (e != nullptr && e->region->degraded() &&
+            !e->region->bothDead())
+            deferRequeue(region_id); // still repairable: keep it queued
+        else if (e != nullptr)
+            e->queued = false;
+    }
+    pumpResyncQueue();
+}
+
+void
+HealthPlane::deferRequeue(std::uint64_t region_id)
+{
+    stats_.resyncs_deferred++;
+    eq_.scheduleAfter(cfg_.reheal_backoff, [this, region_id] {
+        RegionEntry *e = findEntry(region_id);
+        if (e == nullptr || !e->queued)
+            return; // destroyed or repaired meanwhile
+        pending_.push_back(region_id);
+        pumpResyncQueue();
+    });
+}
+
+NodeId
+HealthPlane::pickReplacement(const ReplicatedRegion &region,
+                             std::uint64_t region_id) const
+{
+    const bool primary_dead = !region.primaryAlive();
+    const NodeId survivor =
+        primary_dead ? region.backupMn() : region.primaryMn();
+    const NodeId dead = primary_dead ? region.primaryMn()
+                                     : region.backupMn();
+    const RackId rack = net_.rackOf(dead);
+    // Prefer the shard ring: rack-aware, deterministic, and salted by
+    // the stable region id so concurrent repairs spread over MNs.
+    const ShardMap &ring = cluster_.shardMap();
+    if (!ring.empty()) {
+        for (std::uint32_t probe = 0; probe < 8; probe++) {
+            const std::uint32_t idx = ring.ownerNear(
+                static_cast<ProcId>(region_id + probe), 0, rack);
+            CBoard &mn = cluster_.mn(idx);
+            if (mn.alive() && mn.nodeId() != survivor)
+                return mn.nodeId();
+        }
+    }
+    // Fallback (legacy clusters / exhausted probes): deterministic
+    // index scan, same-rack first.
+    for (int pass = 0; pass < 2; pass++) {
+        for (std::uint32_t i = 0; i < cluster_.mnCount(); i++) {
+            CBoard &mn = cluster_.mn(i);
+            if (!mn.alive() || mn.nodeId() == survivor)
+                continue;
+            if (pass == 0 && net_.rackOf(mn.nodeId()) != rack)
+                continue;
+            return mn.nodeId();
+        }
+    }
+    return 0;
+}
+
+void
+HealthPlane::logEvent(HealthEvent::Kind kind, NodeId node,
+                      std::uint64_t region_id)
+{
+    HealthEvent e;
+    e.kind = kind;
+    e.at = eq_.now();
+    e.node = node;
+    e.region_id = region_id;
+    events_.push_back(e);
+}
+
+} // namespace clio

@@ -126,11 +126,20 @@ Network::send(Packet pkt)
         lazyDrain(dst_rack->down, now);
     }
 
+    // Control-plane lane: priority packets never wait for, occupy, or
+    // advance any data queue (strict-priority preemption; their own
+    // serialization still elapses). Everything else — loss, corruption,
+    // jitter, reordering, the fault hook — applies identically, and
+    // non-priority packets execute the exact same code as before.
+    const bool prio = pkt.priority;
+    if (prio)
+        stats_.priority_bypass++;
+
     // --- Lossless (PFC-like) back-pressure: if any output queue on
     // the path is full, the packet is held at the source NIC until a
     // slot will have freed — tx_start is delayed, queues stay bounded.
     Tick hold = now;
-    if (cfg_.lossless) {
+    if (cfg_.lossless && !prio) {
         hold = std::max(
             hold, admitTime(dst.out, cfg_.switch_queue_packets, now));
         if (cross_rack) {
@@ -150,9 +159,10 @@ Network::send(Packet pkt)
     // --- Source NIC egress: serialize onto the host link. ---
     const Tick ser =
         static_cast<Tick>(pkt.wire_bytes) * src.ticks_per_byte;
-    const Tick tx_start = std::max(hold, src.tx_free);
+    const Tick tx_start = prio ? now : std::max(hold, src.tx_free);
     const Tick tx_done = tx_start + ser;
-    src.tx_free = tx_done;
+    if (!prio)
+        src.tx_free = tx_done;
 
     // --- In-flight faults. ---
     if (rng_.chance(cfg_.loss_rate)) {
@@ -199,30 +209,36 @@ Network::send(Packet pkt)
         // Uplink of the source rack toward the spine.
         if (stageFault(NetStage::kAggUp))
             return;
-        if (!cfg_.lossless &&
+        if (!cfg_.lossless && !prio &&
             src_rack->up.drain.size() >= cfg_.agg_queue_packets) {
             stats_.dropped_agg_queue++;
             return;
         }
-        const Tick up_start = std::max(at_dst_tor, src_rack->up.free);
-        src_rack->up.free = up_start + agg_ser;
+        const Tick up_start =
+            prio ? at_dst_tor : std::max(at_dst_tor, src_rack->up.free);
         const Tick up_done = up_start + agg_ser + cfg_.switch_latency;
-        src_rack->up.drain.push_back(up_done);
+        if (!prio) {
+            src_rack->up.free = up_start + agg_ser;
+            src_rack->up.drain.push_back(up_done);
+        }
 
         // Spine output toward the destination rack (its downlink).
         const Tick at_spine = up_done + cfg_.agg_link_propagation;
         if (stageFault(NetStage::kAggDown))
             return;
-        if (!cfg_.lossless &&
+        if (!cfg_.lossless && !prio &&
             dst_rack->down.drain.size() >= cfg_.agg_queue_packets) {
             stats_.dropped_agg_queue++;
             return;
         }
-        const Tick down_start = std::max(at_spine, dst_rack->down.free);
-        dst_rack->down.free = down_start + agg_ser;
+        const Tick down_start =
+            prio ? at_spine : std::max(at_spine, dst_rack->down.free);
         const Tick down_done =
             down_start + agg_ser + cfg_.spine_latency;
-        dst_rack->down.drain.push_back(down_done);
+        if (!prio) {
+            dst_rack->down.free = down_start + agg_ser;
+            dst_rack->down.drain.push_back(down_done);
+        }
 
         at_dst_tor = down_done + cfg_.agg_link_propagation;
     }
@@ -232,35 +248,40 @@ Network::send(Packet pkt)
         return;
     const Tick out_ser =
         static_cast<Tick>(pkt.wire_bytes) * dst.ticks_per_byte;
-    const Tick out_start = std::max(at_dst_tor, dst.out.free);
+    const Tick out_start =
+        prio ? at_dst_tor : std::max(at_dst_tor, dst.out.free);
 
     // Queue occupancy check (incast tail-drop; lossless mode already
     // delayed tx_start above so the queue is guaranteed to have room).
-    if (!cfg_.lossless &&
+    if (!cfg_.lossless && !prio &&
         dst.out.drain.size() >= cfg_.switch_queue_packets) {
         stats_.dropped_queue++;
         return;
     }
-    // The forwarding latency is pipelined: it delays the packet but
-    // does not occupy the output port.
-    dst.out.free = out_start + out_ser;
     const Tick out_done = out_start + out_ser + cfg_.switch_latency;
-    // The packet occupies the output queue until its last byte leaves
-    // the port (out_done) — NOT until delivery, which additionally
-    // includes the final link propagation plus jitter/reorder delay.
-    dst.out.drain.push_back(out_done);
-    // Physical occupancy when this packet's bytes reach the queue:
-    // committed packets still present at `at_dst_tor` (drain is sorted,
-    // FIFO). Bounded by the queue capacity in BOTH modes — in lossless
-    // mode because the admission delay above guarantees enough
-    // predecessors have departed by the time the packet arrives.
-    const auto still_queued = dst.out.drain.end() -
-                              std::upper_bound(dst.out.drain.begin(),
-                                               dst.out.drain.end(),
-                                               at_dst_tor);
-    stats_.peak_queue_depth =
-        std::max(stats_.peak_queue_depth,
-                 static_cast<std::uint32_t>(still_queued));
+    if (!prio) {
+        // The forwarding latency is pipelined: it delays the packet but
+        // does not occupy the output port.
+        dst.out.free = out_start + out_ser;
+        // The packet occupies the output queue until its last byte
+        // leaves the port (out_done) — NOT until delivery, which
+        // additionally includes the final link propagation plus
+        // jitter/reorder delay.
+        dst.out.drain.push_back(out_done);
+        // Physical occupancy when this packet's bytes reach the queue:
+        // committed packets still present at `at_dst_tor` (drain is
+        // sorted, FIFO). Bounded by the queue capacity in BOTH modes —
+        // in lossless mode because the admission delay above
+        // guarantees enough predecessors have departed by the time the
+        // packet arrives.
+        const auto still_queued =
+            dst.out.drain.end() -
+            std::upper_bound(dst.out.drain.begin(), dst.out.drain.end(),
+                             at_dst_tor);
+        stats_.peak_queue_depth =
+            std::max(stats_.peak_queue_depth,
+                     static_cast<std::uint32_t>(still_queued));
+    }
 
     // --- Final hop to the destination NIC. ---
     Tick deliver = out_done + cfg_.link_propagation + fault_delay;

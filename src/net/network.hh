@@ -30,6 +30,14 @@
  * is held at the source NIC (its `tx_start` is delayed) until the
  * queue has room; stalls are counted in NetStats. Queues never grow
  * unbounded in either mode.
+ *
+ * Control-plane lane: packets flagged Packet::priority (liveness
+ * heartbeats) model an 802.1p-style strict-priority class — they
+ * neither wait for nor occupy NIC/switch data queues, so a bulk
+ * transfer serializing on a node's link cannot delay its beacons past
+ * a failure-detector lease. They still pay serialization, propagation
+ * and switching latency, and remain subject to loss, corruption,
+ * jitter, reordering, and the chaos fault hook.
  */
 
 #ifndef CLIO_NET_NETWORK_HH
@@ -77,6 +85,9 @@ struct NetStats
      * arrival at the queue; never exceeds switch_queue_packets in
      * either mode (lossless admission delay / lossy tail drop). */
     std::uint32_t peak_queue_depth = 0;
+    /** Packets that took the strict-priority control lane (heartbeats;
+     * Packet::priority) and bypassed NIC/switch data queues. */
+    std::uint64_t priority_bypass = 0;
 };
 
 /** Switch stage a packet is traversing when the fault hook fires. */

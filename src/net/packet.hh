@@ -37,6 +37,7 @@ enum class MsgType : std::uint8_t {
     kOffload,   ///< extend path: application offload invocation
     kResponse,  ///< MN -> CN response (matches request id)
     kNack,      ///< MN -> CN: link-layer corruption notice
+    kHeartbeat, ///< node -> controller liveness beacon (health plane)
 };
 
 /** Per-packet Clio header + payload view (the wire unit). */
@@ -58,6 +59,12 @@ struct Packet
     /** Set by the link model when the packet got corrupted in flight;
      * the receiver's link layer detects this via checksum. */
     bool corrupted = false;
+    /** Strict-priority control-plane lane (802.1p-style): the packet
+     * bypasses NIC and switch output queues instead of serializing
+     * behind bulk data. Used by liveness heartbeats so a multi-hundred
+     * KiB resync chunk on a node's link cannot starve its beacons into
+     * a false lease expiry. Loss/corruption/fault hooks still apply. */
+    bool priority = false;
     /** The full message, shared by all its packets. */
     std::shared_ptr<const Message> msg;
 };

@@ -42,6 +42,8 @@ enum class Status : std::uint8_t {
     kOffloadError,   ///< extend-path offload rejected the call
     kTimeout,        ///< CLib-side: retries exhausted, last failure was
                      ///< a timeout (dead/unreachable MN)
+    kEpochFenced,    ///< MN rejected a request stamped with a stale
+                     ///< membership epoch (split-brain fence)
 };
 
 /** Human-readable status name (log + test failure messages). */
@@ -65,6 +67,8 @@ to_string(Status status)
         return "OffloadError";
       case Status::kTimeout:
         return "Timeout";
+      case Status::kEpochFenced:
+        return "EpochFenced";
     }
     return "Status(?)";
 }
@@ -119,6 +123,12 @@ struct RequestMsg : Message
      * (e.g. full-table scans) set this. */
     Tick timeout_override = 0;
 
+    /** Membership epoch the issuing CN believed current when this
+     * attempt was transmitted (stamped per attempt, so a retry after
+     * an epoch refresh carries the new epoch). MNs fence requests
+     * whose epoch predates their rejoin epoch (kEpochFenced). */
+    std::uint64_t epoch = 0;
+
     /** Restore default-constructed field values, keeping the payload
      * vectors' capacity (MessagePool reuse). */
     void
@@ -141,6 +151,7 @@ struct RequestMsg : Message
         offload_id = 0;
         offload_arg.clear();
         timeout_override = 0;
+        epoch = 0;
     }
 };
 
@@ -164,6 +175,26 @@ struct ResponseMsg : Message
         data.clear();
         value = 0;
     }
+};
+
+/** One liveness beacon (node -> controller). A heartbeat is a real
+ * message routed through the fabric, so rack kills, congestion, and
+ * packet-fault windows genuinely delay or drop it. */
+struct HeartbeatMsg : Message
+{
+    /** Sender's network node (redundant with Packet::src; kept so the
+     * message is self-describing like every other Clio message). */
+    NodeId node = 0;
+    /** Monotonic per-sender beacon sequence number. */
+    std::uint64_t seq = 0;
+    /** Sender's restart count. A bump without a missed lease means the
+     * node crashed and rebooted inside one lease window — the
+     * controller must treat that as a death + rejoin (volatile state
+     * was lost) even though no beacon deadline expired. */
+    std::uint64_t incarnation = 0;
+    /** Membership epoch the sender last observed (0 for a freshly
+     * restarted node — lets the controller spot zombies). */
+    std::uint64_t epoch = 0;
 };
 
 /**

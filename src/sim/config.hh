@@ -147,6 +147,38 @@ struct CLibConfig
     /** Incast window: max bytes of expected responses outstanding,
      * sized near the bandwidth-delay product of the 10 Gbps port. */
     std::uint64_t iwnd_bytes = 48 * KiB;
+    /** Chunk size for replica heal/resync copy streams. Bigger chunks
+     * finish resyncs faster but hold the incast window longer against
+     * foreground traffic. */
+    std::uint64_t resync_chunk_bytes = 256 * KiB;
+};
+
+/** Controller health plane: lease-based failure detection, epoch-fenced
+ * membership, and automatic re-replication. Off by default — heartbeat
+ * packets share the fabric with data traffic, so enabling the plane
+ * legitimately perturbs packet-level RNG streams of existing seeds. */
+struct HealthConfig
+{
+    /** Master switch. When false the cluster behaves exactly as before
+     * this layer existed (no controller node, no heartbeats, no epoch
+     * checks, crash/restart take effect instantly and heals stay
+     * client-driven). */
+    bool enabled = false;
+    /** Interval between liveness beacons from each node. */
+    Tick heartbeat_period = 20 * kMicrosecond;
+    /** Lease slack before a silent node turns suspected. A node is
+     * suspected once now - last_beacon >= suspect_after (deadlines are
+     * inclusive: the transition fires exactly at lease expiry). */
+    Tick suspect_after = 60 * kMicrosecond;
+    /** Lease expiry: a suspected node is declared dead once
+     * now - last_beacon >= dead_after (dead_after > suspect_after). */
+    Tick dead_after = 150 * kMicrosecond;
+    /** Max replica resyncs the controller drives concurrently; further
+     * repairs queue so recovery traffic can't flatten foreground p99. */
+    std::uint32_t max_concurrent_resyncs = 2;
+    /** Backoff before re-attempting a resync whose source died or
+     * whose chunk ops failed mid-copy. */
+    Tick reheal_backoff = 50 * kMicrosecond;
 };
 
 /** CBoard slow path (ARM SoC) timing, §4.2/§4.3/§5 and Fig. 12/13. */
@@ -291,6 +323,7 @@ struct ModelConfig
     BaselineConfig baselines;
     EnergyConfig energy;
     DistributedConfig dist;
+    HealthConfig health;
 
     /** Physical memory per MN; the ZCU106 boards carry 2 GB. */
     std::uint64_t mn_phys_bytes = 2 * GiB;

@@ -16,6 +16,7 @@
 #include "chaos/linearize.hh"
 #include "clib/replication.hh"
 #include "cluster/cluster.hh"
+#include "cluster/health.hh"
 
 namespace clio {
 namespace {
@@ -402,6 +403,239 @@ TEST(Chaos, ChaosScheduleByteIdentical)
     const ChaosRun other =
         runChaosSchedule(seed + 1, EventQueueImpl::kTimingWheel);
     EXPECT_FALSE(equal(w1, other));
+}
+
+// ---------------------------------------------------------------------
+// Self-healing under randomized chaos: MN + CN crashes, a rack kill,
+// and a heartbeat-loss window — with the controller health plane doing
+// ALL recovery (zero client heal() calls).
+// ---------------------------------------------------------------------
+
+struct SelfHealRun
+{
+    std::vector<HistOp> history;
+    ChaosStats chaos;
+    std::uint64_t epoch = 0;
+    std::uint64_t beacons = 0;
+    std::uint64_t suspects = 0;
+    std::uint64_t deaths = 0;
+    std::uint64_t rejoins = 0;
+    std::uint64_t resyncs_completed = 0;
+    std::uint64_t region_resyncs = 0;
+    bool fully_redundant = false;
+    Tick end_time = 0;
+    /** (kind, tick, node, region) of every health-plane event. */
+    std::vector<std::tuple<std::uint8_t, Tick, NodeId, std::uint64_t>>
+        events;
+
+    bool operator==(const SelfHealRun &o) const
+    {
+        if (history.size() != o.history.size())
+            return false;
+        for (std::size_t i = 0; i < history.size(); i++) {
+            const HistOp &x = history[i];
+            const HistOp &y = o.history[i];
+            if (x.key != y.key || x.invoked != y.invoked ||
+                x.completed != y.completed || x.is_write != y.is_write ||
+                x.value != y.value || x.ok != y.ok)
+                return false;
+        }
+        return chaos.crashes == o.chaos.crashes &&
+               chaos.cn_crashes == o.chaos.cn_crashes &&
+               chaos.rack_kills == o.chaos.rack_kills &&
+               chaos.drops == o.chaos.drops &&
+               chaos.corrupts == o.chaos.corrupts &&
+               chaos.duplicates == o.chaos.duplicates &&
+               epoch == o.epoch && beacons == o.beacons &&
+               suspects == o.suspects && deaths == o.deaths &&
+               rejoins == o.rejoins &&
+               resyncs_completed == o.resyncs_completed &&
+               region_resyncs == o.region_resyncs &&
+               fully_redundant == o.fully_redundant &&
+               end_time == o.end_time && events == o.events;
+    }
+};
+
+/**
+ * One self-healing chaotic run: 3 racks x (2 CN + 2 MN), health plane
+ * on, a replicated register with copies in racks 0 and 1, and a
+ * randomized schedule that kills the primary's MN (downtime > the
+ * lease, so the death is always detected), one bystander CN, and rack
+ * 2 (controller, client, and both replicas live elsewhere), plus a
+ * 100 us heartbeat-only loss window (shorter than dead_after: it must
+ * cause suspicion, never a false death). The client only reads and
+ * writes; every repair is controller-driven.
+ */
+SelfHealRun
+runSelfHealingSchedule(std::uint64_t seed, EventQueueImpl impl)
+{
+    auto cfg = ModelConfig::prototype();
+    cfg.seed = seed;
+    cfg.event_queue_impl = impl;
+    cfg.clib.max_retries = 4;
+    cfg.health.enabled = true;
+    ClusterSpec spec;
+    spec.racks = 3;
+    spec.cns_per_rack = 2;
+    spec.mns_per_rack = 2;
+    Cluster cluster(cfg, spec);
+    ClioClient &client = cluster.createClient(0); // rack 0
+    HealthPlane *hp = cluster.health();
+    EXPECT_NE(hp, nullptr);
+
+    // Replicas in racks 0 and 1: rack 2 stays replica-free so killing
+    // it exercises membership churn without touching the region.
+    std::uint32_t primary_idx = cluster.mnCount();
+    std::uint32_t backup_idx = cluster.mnCount();
+    for (std::uint32_t i = 0; i < cluster.mnCount(); i++) {
+        if (cluster.rackOfMn(i) == 0 && primary_idx == cluster.mnCount())
+            primary_idx = i;
+        if (cluster.rackOfMn(i) == 1 && backup_idx == cluster.mnCount())
+            backup_idx = i;
+    }
+    ReplicatedRegion region(client, 1 * MiB,
+                            cluster.mn(primary_idx).nodeId(),
+                            cluster.mn(backup_idx).nodeId());
+    EXPECT_TRUE(region.ok());
+
+    FaultPlan::RandomOpts opts;
+    opts.duration = 2 * kMillisecond;
+    opts.candidates = {primary_idx};
+    opts.crashes = 1;
+    // Downtime exceeds dead_after: the death is always detected, so
+    // every schedule exercises the auto-resync path.
+    opts.min_downtime = 250 * kMicrosecond;
+    opts.max_downtime = 400 * kMicrosecond;
+    opts.drop_rate = 0.01;
+    opts.corrupt_rate = 0.02;
+    opts.duplicate_rate = 0.02;
+    // One bystander CN dies too (never CN 0, the app client's host).
+    opts.cn_candidates = {1, 2, 3};
+    opts.cn_crashes = 1;
+    // Rack 2 only: rack 0 holds the controller and the client.
+    opts.rack_candidates = {2};
+    opts.rack_kills = 1;
+    // Total heartbeat loss for 100 us: with a 20 us beacon period the
+    // longest silent gap is ~120 us — past suspect_after (60 us),
+    // short of dead_after (150 us).
+    opts.hb_loss_rate = 1.0;
+    opts.hb_loss_duration = 100 * kMicrosecond;
+    const FaultPlan plan = FaultPlan::randomized(seed, opts);
+    FaultInjector injector(cluster, plan, seed + 1);
+    injector.arm();
+
+    EventQueue &eq = cluster.eventQueue();
+    Rng workload(seed + 2);
+    SelfHealRun run;
+    constexpr std::uint64_t kKeys = 8;
+    std::uint64_t wseq = 1;
+    for (std::uint64_t i = 0; i < 150; i++) {
+        const std::uint64_t key =
+            i < kKeys ? i : workload.uniformInt(kKeys);
+        const Tick invoked = eq.now();
+        if (i < kKeys || workload.chance(0.6)) {
+            const std::uint64_t value = ((key + 1) << 20) + wseq++;
+            const Status st = region.write(key * 8, &value, 8);
+            run.history.push_back(
+                {key, invoked, eq.now(), true, value, st == Status::kOk});
+        } else {
+            std::uint64_t out = 0;
+            const Status st = region.read(key * 8, &out, 8);
+            run.history.push_back(
+                {key, invoked, eq.now(), false, out, st == Status::kOk});
+        }
+    }
+
+    // Settle well past the horizon: detection (<= dead_after + a few
+    // beacons), the chunked copy (~2 ms for 1 MiB), and any deferred
+    // retries after a replacement died mid-copy all fit comfortably.
+    eq.runUntilTime(std::max(eq.now(), plan.horizon()) +
+                    15 * kMillisecond);
+
+    // NO heal() call anywhere in this run: redundancy is restored by
+    // the controller alone. Reads must see every acked write through
+    // whatever replica set the plane converged on.
+    for (std::uint64_t key = 0; key < kKeys; key++) {
+        const Tick invoked = eq.now();
+        std::uint64_t out = 0;
+        const Status st = region.read(key * 8, &out, 8);
+        run.history.push_back(
+            {key, invoked, eq.now(), false, out, st == Status::kOk});
+    }
+
+    run.chaos = injector.stats();
+    run.epoch = hp->epoch();
+    run.beacons = hp->stats().beacons;
+    run.suspects = hp->stats().suspects;
+    run.deaths = hp->stats().deaths;
+    run.rejoins = hp->stats().rejoins;
+    run.resyncs_completed = hp->stats().resyncs_completed;
+    run.region_resyncs = region.resyncs();
+    run.fully_redundant = region.fullyRedundant();
+    run.end_time = eq.now();
+    for (const HealthEvent &e : hp->events())
+        run.events.emplace_back(static_cast<std::uint8_t>(e.kind), e.at,
+                                e.node, e.region_id);
+    return run;
+}
+
+TEST(Chaos, SelfHealingRestoresRedundancyAndStaysLinearizable)
+{
+    const std::uint64_t seed = ModelConfig::prototype().seed;
+    const SelfHealRun run =
+        runSelfHealingSchedule(seed, EventQueueImpl::kDefault);
+
+    // The schedule really was chaotic...
+    EXPECT_EQ(run.chaos.crashes, 1u);
+    EXPECT_EQ(run.chaos.cn_crashes, 1u);
+    EXPECT_EQ(run.chaos.rack_kills, 1u);
+    // ...and the plane saw it all: the primary MN, the bystander CN,
+    // and rack 2's four nodes all died and rejoined.
+    EXPECT_GE(run.deaths, 3u);
+    EXPECT_GE(run.rejoins, 3u);
+    EXPECT_GE(run.epoch, 1u + run.deaths + run.rejoins);
+    // The heartbeat-loss window starved leases into suspicion, but
+    // (being shorter than dead_after) never into a false death.
+    EXPECT_GE(run.suspects, 1u);
+
+    // The tentpole claim: full redundancy back with ZERO heal() calls.
+    EXPECT_TRUE(run.fully_redundant) << "seed " << seed;
+    EXPECT_GE(run.region_resyncs, 1u);
+    EXPECT_GE(run.resyncs_completed, 1u);
+
+    // Post-recovery reads all completed.
+    const std::size_t n = run.history.size();
+    for (std::size_t i = n - 8; i < n; i++) {
+        EXPECT_TRUE(run.history[i].ok)
+            << "post-recovery read of key " << run.history[i].key
+            << " failed (seed " << seed << ")";
+    }
+
+    const LinearizeReport rep = checkLinearizable(run.history);
+    EXPECT_TRUE(rep.linearizable)
+        << "history not linearizable at key " << rep.key << " (seed "
+        << seed << ")";
+}
+
+TEST(Chaos, SelfHealingScheduleByteIdentical)
+{
+    const std::uint64_t seed = ModelConfig::prototype().seed;
+    const SelfHealRun w1 =
+        runSelfHealingSchedule(seed, EventQueueImpl::kTimingWheel);
+    const SelfHealRun w2 =
+        runSelfHealingSchedule(seed, EventQueueImpl::kTimingWheel);
+    EXPECT_TRUE(w1 == w2)
+        << "same self-healing schedule diverged across two runs";
+
+    const SelfHealRun h1 =
+        runSelfHealingSchedule(seed, EventQueueImpl::kBinaryHeap);
+    EXPECT_TRUE(w1 == h1)
+        << "wheel and heap diverged under the same self-healing "
+           "schedule";
+
+    const SelfHealRun other =
+        runSelfHealingSchedule(seed + 1, EventQueueImpl::kTimingWheel);
+    EXPECT_FALSE(w1 == other);
 }
 
 } // namespace

@@ -203,6 +203,79 @@ TEST(Replication, ReReplicationOntoThirdMnAfterCrash)
     EXPECT_TRUE(region.backupAlive()); // backup untouched since heal
 }
 
+TEST(Replication, HealAbortsWhenSurvivorDiesMidCopy)
+{
+    // Regression: heal() used to return the raw read status when the
+    // SOURCE of the copy died mid-stream, leaving the survivor marked
+    // alive and the half-copied replacement in limbo. It must abort
+    // cleanly: survivor marked dead, kTimeout surfaced, replacement
+    // never promoted.
+    Cluster cluster(ModelConfig::prototype(), 1, 3);
+    ClioClient &client = cluster.createClient(0);
+    ReplicatedRegion region(client, 4 * MiB, cluster.mn(0).nodeId(),
+                            cluster.mn(1).nodeId());
+    ASSERT_TRUE(region.ok());
+    for (std::uint64_t off = 0; off < 4 * MiB; off += 512 * KiB) {
+        std::uint64_t v = 0xCAFE0000 + off;
+        ASSERT_EQ(region.write(off, &v, 8), Status::kOk);
+    }
+
+    cluster.crashMn(0); // primary dies; backup (MN 1) is the survivor
+    std::uint64_t out = 0;
+    ASSERT_EQ(region.read(0, &out, 8), Status::kOk);
+    ASSERT_FALSE(region.primaryAlive());
+
+    // Kill the survivor while heal() is streaming chunks: 1 ms lands
+    // well past the replacement alloc but mid-copy of a 4 MiB region.
+    cluster.eventQueue().scheduleAfter(kMillisecond,
+                                       [&] { cluster.crashMn(1); });
+    EXPECT_EQ(region.heal(cluster.mn(2).nodeId()), Status::kTimeout);
+    EXPECT_TRUE(region.bothDead());
+    EXPECT_EQ(region.resyncs(), 0u); // the half-copy never counts
+
+    // The abandoned replacement was never marked healthy: every path
+    // fails fast instead of serving half-copied bytes.
+    EXPECT_NE(region.read(0, &out, 8), Status::kOk);
+    std::uint64_t v = 1;
+    EXPECT_NE(region.write(0, &v, 8), Status::kOk);
+}
+
+TEST(Replication, ResyncChunkSizeIsConfigurable)
+{
+    // Satellite: the 256 KiB copy chunk is a CLibConfig knob. A tiny
+    // chunk turns a 1 MiB heal into many round trips; a huge chunk
+    // into very few. Both still copy every byte.
+    for (const std::uint64_t chunk : {64 * KiB, 1 * MiB}) {
+        auto cfg = ModelConfig::prototype();
+        cfg.clib.resync_chunk_bytes = chunk;
+        Cluster cluster(cfg, 1, 3);
+        ClioClient &client = cluster.createClient(0);
+        ReplicatedRegion region(client, 1 * MiB, cluster.mn(0).nodeId(),
+                                cluster.mn(1).nodeId());
+        ASSERT_TRUE(region.ok());
+        for (std::uint64_t off = 0; off < 1 * MiB; off += 128 * KiB) {
+            std::uint64_t v = 0xF00D0000 + off;
+            ASSERT_EQ(region.write(off, &v, 8), Status::kOk);
+        }
+        cluster.crashMn(1);
+        std::uint64_t v = 0;
+        ASSERT_EQ(region.write(0, &v, 8), Status::kOk); // mark it dead
+        const std::uint64_t reads_before = cluster.mn(0).stats().reads;
+        ASSERT_EQ(region.heal(cluster.mn(2).nodeId()), Status::kOk);
+        const std::uint64_t copy_reads =
+            cluster.mn(0).stats().reads - reads_before;
+        // One source read per chunk (the MN splits none of them).
+        EXPECT_EQ(copy_reads, (1 * MiB + chunk - 1) / chunk);
+        for (std::uint64_t off = 128 * KiB; off < 1 * MiB;
+             off += 128 * KiB) {
+            std::uint64_t got = 0;
+            cluster.crashMn(0); // force reads onto the healed copy
+            ASSERT_EQ(region.read(off, &got, 8), Status::kOk) << off;
+            EXPECT_EQ(got, 0xF00D0000 + off);
+        }
+    }
+}
+
 TEST(Replication, WriteAllQuorumEdgeCases)
 {
     auto cfg = ModelConfig::prototype();
