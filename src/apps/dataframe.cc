@@ -43,14 +43,31 @@ SelectOffload::encode(const Args &args)
     return encodeStruct(args);
 }
 
+OffloadDescriptor
+SelectOffload::descriptor(std::uint32_t id)
+{
+    OffloadDescriptor desc = defaultOffloadDescriptor(id);
+    desc.name = "df-select";
+    desc.arg_bytes = sizeof(Args);
+    desc.reply_bytes_hint = 32;
+    desc.lut = 8400.0;        // predicate comparators + compaction
+    desc.bram_bytes = 65536.0; // chunk staging buffers
+    desc.cycles_per_call = 8;
+    desc.cycles_per_element = 1;
+    return desc;
+}
+
 OffloadResult
 SelectOffload::invoke(OffloadVm &vm, const std::vector<std::uint8_t> &arg)
 {
     OffloadResult res;
     Args args;
     if (!decodeStruct(arg, args)) {
-        res.status = Status::kOffloadError;
-        return res;
+        return offloadError(OffloadErrc::kBadArgument,
+                            "df-select: argument is " +
+                                std::to_string(arg.size()) +
+                                " bytes, want " +
+                                std::to_string(sizeof(Args)));
     }
     std::vector<std::uint8_t> a_chunk(kScanChunkRows);
     std::vector<std::int64_t> b_chunk(kScanChunkRows);
@@ -61,8 +78,9 @@ SelectOffload::invoke(OffloadVm &vm, const std::vector<std::uint8_t> &arg)
             std::min<std::uint64_t>(kScanChunkRows, args.rows - row);
         if (!vm.read(args.col_a_addr + row, a_chunk.data(), n) ||
             !vm.read(args.col_b_addr + row * 8, b_chunk.data(), n * 8)) {
-            res.status = Status::kBadAddress;
-            return res;
+            return offloadError(OffloadErrc::kBadAddress,
+                                "df-select: column read faulted",
+                                Status::kBadAddress);
         }
         out_chunk.clear();
         for (std::uint64_t i = 0; i < n; i++) {
@@ -72,8 +90,9 @@ SelectOffload::invoke(OffloadVm &vm, const std::vector<std::uint8_t> &arg)
         if (!out_chunk.empty()) {
             if (!vm.write(args.out_addr + selected * 8,
                           out_chunk.data(), out_chunk.size() * 8)) {
-                res.status = Status::kBadAddress;
-                return res;
+                return offloadError(OffloadErrc::kBadAddress,
+                                    "df-select: output write faulted",
+                                    Status::kBadAddress);
             }
             selected += out_chunk.size();
         }
@@ -91,6 +110,20 @@ AggregateOffload::encode(const Args &args)
     return encodeStruct(args);
 }
 
+OffloadDescriptor
+AggregateOffload::descriptor(std::uint32_t id)
+{
+    OffloadDescriptor desc = defaultOffloadDescriptor(id);
+    desc.name = "df-aggregate";
+    desc.arg_bytes = sizeof(Args);
+    desc.reply_bytes_hint = 16;
+    desc.lut = 3100.0;        // adder tree + divider
+    desc.bram_bytes = 65536.0; // chunk staging buffer
+    desc.cycles_per_call = 8;
+    desc.cycles_per_element = 1;
+    return desc;
+}
+
 OffloadResult
 AggregateOffload::invoke(OffloadVm &vm,
                          const std::vector<std::uint8_t> &arg)
@@ -98,8 +131,11 @@ AggregateOffload::invoke(OffloadVm &vm,
     OffloadResult res;
     Args args;
     if (!decodeStruct(arg, args)) {
-        res.status = Status::kOffloadError;
-        return res;
+        return offloadError(OffloadErrc::kBadArgument,
+                            "df-aggregate: argument is " +
+                                std::to_string(arg.size()) +
+                                " bytes, want " +
+                                std::to_string(sizeof(Args)));
     }
     std::vector<std::int64_t> chunk(kScanChunkRows);
     double sum = 0;
@@ -107,8 +143,9 @@ AggregateOffload::invoke(OffloadVm &vm,
         const std::uint64_t n =
             std::min<std::uint64_t>(kScanChunkRows, args.count - i);
         if (!vm.read(args.values_addr + i * 8, chunk.data(), n * 8)) {
-            res.status = Status::kBadAddress;
-            return res;
+            return offloadError(OffloadErrc::kBadAddress,
+                                "df-aggregate: values read faulted",
+                                Status::kBadAddress);
         }
         for (std::uint64_t j = 0; j < n; j++)
             sum += static_cast<double>(chunk[j]);
@@ -211,6 +248,52 @@ ClioDataFrame::runOffload(std::uint8_t match)
     std::memcpy(&out.avg, &avg_bits, 8);
 
     // 3) histogram at the CN: fetch ONLY the selected values.
+    std::vector<std::int64_t> values(selected);
+    if (selected) {
+        if (client_.rread(scratch_, values.data(), selected * 8) !=
+            Status::kOk)
+            return out;
+        out.net_bytes += selected * 8;
+    }
+    chargeCnCompute(selected);
+    buildHistogram(values, out.histogram);
+    out.ok = true;
+    return out;
+}
+
+DfQueryResult
+ClioDataFrame::runOffloadChained(std::uint8_t match)
+{
+    DfQueryResult out;
+    // select→aggregate as one MN-side plan. The aggregate stage's
+    // `count` field (Args offset 8) is patched from the select stage's
+    // reply value — the CN never sees the intermediate match count.
+    SelectOffload::Args sel;
+    sel.col_a_addr = col_a_;
+    sel.col_b_addr = col_b_;
+    sel.out_addr = scratch_;
+    sel.rows = rows_;
+    sel.match = match;
+    AggregateOffload::Args agg;
+    agg.values_addr = scratch_;
+    agg.count = 0; // bound MN-side
+
+    ChainPlan plan;
+    plan.stage(select_id_, SelectOffload::encode(sel))
+        .stage(agg_id_, AggregateOffload::encode(agg))
+        .bindValue(8)
+        .perStageReplies();
+    const Result<OffloadReply> reply = client_.rcall_chain(mn_, plan);
+    if (!reply)
+        return out;
+    out.net_bytes += sizeof(sel) + sizeof(agg) + 16 + 32;
+    clio_assert(reply->stages.size() == 2, "expected 2 stage replies");
+    const std::uint64_t selected = reply->stages[0].value;
+    out.selected = selected;
+    const std::uint64_t avg_bits = reply->value;
+    std::memcpy(&out.avg, &avg_bits, 8);
+
+    // Histogram at the CN over only the selected values, as before.
     std::vector<std::int64_t> values(selected);
     if (selected) {
         if (client_.rread(scratch_, values.data(), selected * 8) !=

@@ -19,7 +19,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "cboard/offload.hh"
+#include "offload/descriptor.hh"
+#include "offload/offload.hh"
 #include "clib/client.hh"
 
 namespace clio {
@@ -39,6 +40,9 @@ class SelectOffload : public Offload
     };
     static std::vector<std::uint8_t> encode(const Args &args);
 
+    /** Deployment descriptor (predicate comparators + compaction). */
+    static OffloadDescriptor descriptor(std::uint32_t id);
+
     OffloadResult invoke(OffloadVm &vm,
                          const std::vector<std::uint8_t> &arg) override;
 };
@@ -53,6 +57,9 @@ class AggregateOffload : public Offload
         std::uint64_t count = 0;
     };
     static std::vector<std::uint8_t> encode(const Args &args);
+
+    /** Deployment descriptor (adder tree over a streamed column). */
+    static OffloadDescriptor descriptor(std::uint32_t id);
 
     OffloadResult invoke(OffloadVm &vm,
                          const std::vector<std::uint8_t> &arg) override;
@@ -88,6 +95,11 @@ class ClioDataFrame
 
     /** Execute the Fig. 20 query with select+aggregate at the MN. */
     DfQueryResult runOffload(std::uint8_t match);
+
+    /** Same query, but select→aggregate as ONE chained plan: the
+     * select stage's match count is bound MN-side into the aggregate
+     * stage's `count` field, saving a CN round trip. */
+    DfQueryResult runOffloadChained(std::uint8_t match);
 
     /** Execute everything at the CN (the RDMA-style plan: ship whole
      * columns, filter/aggregate locally). */

@@ -87,6 +87,20 @@ ClioKvOffload::ClioKvOffload(std::uint32_t bucket_count)
     clio_assert(bucket_count > 0, "bucket count must be nonzero");
 }
 
+OffloadDescriptor
+ClioKvOffload::descriptor(std::uint32_t id)
+{
+    OffloadDescriptor desc = defaultOffloadDescriptor(id);
+    desc.name = "clio-kv";
+    desc.arg_bytes = 0; // variable: op + key (+ value)
+    desc.reply_bytes_hint = 1200;
+    desc.lut = 14800.0;         // hash, chain walker, slab allocator
+    desc.bram_bytes = 131072.0; // slot cache + burst buffers
+    desc.cycles_per_call = 16;
+    desc.cycles_per_element = 1;
+    return desc;
+}
+
 std::uint64_t
 ClioKvOffload::hashKey(const std::string &key)
 {
@@ -146,9 +160,15 @@ ClioKvOffload::invoke(OffloadVm &vm, const std::vector<std::uint8_t> &arg)
 {
     Decoded d = kvDecode(arg);
     if (!d.ok) {
-        OffloadResult res;
-        res.status = Status::kOffloadError;
-        return res;
+        return offloadError(OffloadErrc::kBadArgument,
+                            "clio-kv: malformed request");
+    }
+    if (d.key.size() > kMaxKeyBytes) {
+        return offloadError(OffloadErrc::kValueTooLarge,
+                            "clio-kv: key is " +
+                                std::to_string(d.key.size()) +
+                                " bytes, limit " +
+                                std::to_string(kMaxKeyBytes));
     }
     switch (d.op) {
       case KvOp::kGet:
@@ -161,9 +181,8 @@ ClioKvOffload::invoke(OffloadVm &vm, const std::vector<std::uint8_t> &arg)
         deletes_++;
         return del(vm, d.key);
     }
-    OffloadResult res;
-    res.status = Status::kOffloadError;
-    return res;
+    return offloadError(OffloadErrc::kBadArgument,
+                        "clio-kv: unknown opcode");
 }
 
 OffloadResult
@@ -174,16 +193,16 @@ ClioKvOffload::get(OffloadVm &vm, const std::string &key)
     const VirtAddr head_addr = bucket_array_ + (h % bucket_count_) * 8;
     auto slot_addr = vm.read64(head_addr);
     if (!slot_addr) {
-        res.status = Status::kOffloadError;
-        return res;
+        return offloadError(OffloadErrc::kBadAddress,
+                            "clio-kv: bucket head read faulted");
     }
     // Walk the bucket chain, fingerprint-first (§6).
     std::uint64_t cursor = *slot_addr;
     while (cursor) {
         Slot slot;
         if (!readSlot(vm, cursor, slot)) {
-            res.status = Status::kOffloadError;
-            return res;
+            return offloadError(OffloadErrc::kBadAddress,
+                                "clio-kv: slot read faulted");
         }
         for (const Entry &entry : slot.entries) {
             if (entry.fp != h || entry.addr == 0)
@@ -210,6 +229,7 @@ ClioKvOffload::get(OffloadVm &vm, const std::string &key)
         cursor = slot.next;
     }
     res.value = 0; // not found (status stays kOk)
+    res.err_code = static_cast<std::uint32_t>(OffloadErrc::kNotFound);
     return res;
 }
 
@@ -225,10 +245,18 @@ ClioKvOffload::put(OffloadVm &vm, const std::string &key,
     // pointer: readers see either the old or the new value, never a
     // mix (atomic-write consistency, §6).
     const std::uint64_t block_len = 8 + key.size() + value.size();
+    if (block_len > kSlabBytes) {
+        return offloadError(OffloadErrc::kValueTooLarge,
+                            "clio-kv: object is " +
+                                std::to_string(block_len) +
+                                " bytes, slab is " +
+                                std::to_string(kSlabBytes));
+    }
     const std::uint64_t block = slabAlloc(vm, block_len);
     if (!block) {
-        res.status = Status::kOutOfMemory;
-        return res;
+        return offloadError(OffloadErrc::kAllocFailed,
+                            "clio-kv: slab allocation failed",
+                            Status::kOutOfMemory);
     }
     std::uint32_t lens[2] = {static_cast<std::uint32_t>(key.size()),
                              static_cast<std::uint32_t>(value.size())};
@@ -244,8 +272,8 @@ ClioKvOffload::put(OffloadVm &vm, const std::string &key,
     while (cursor) {
         Slot slot;
         if (!readSlot(vm, cursor, slot)) {
-            res.status = Status::kOffloadError;
-            return res;
+            return offloadError(OffloadErrc::kBadAddress,
+                                "clio-kv: slot read faulted");
         }
         for (int i = 0; i < static_cast<int>(kEntriesPerSlot); i++) {
             Entry &entry = slot.entries[i];
@@ -278,8 +306,9 @@ ClioKvOffload::put(OffloadVm &vm, const std::string &key,
     // All slots full (or bucket empty): allocate and link a new slot.
     const std::uint64_t new_slot_addr = slabAlloc(vm, kSlotBytes);
     if (!new_slot_addr) {
-        res.status = Status::kOutOfMemory;
-        return res;
+        return offloadError(OffloadErrc::kAllocFailed,
+                            "clio-kv: slot allocation failed",
+                            Status::kOutOfMemory);
     }
     Slot fresh{};
     fresh.entries[0] = entry;
@@ -302,8 +331,8 @@ ClioKvOffload::del(OffloadVm &vm, const std::string &key)
     while (cursor) {
         Slot slot;
         if (!readSlot(vm, cursor, slot)) {
-            res.status = Status::kOffloadError;
-            return res;
+            return offloadError(OffloadErrc::kBadAddress,
+                                "clio-kv: slot read faulted");
         }
         for (int i = 0; i < static_cast<int>(kEntriesPerSlot); i++) {
             Entry &entry = slot.entries[i];
@@ -323,6 +352,7 @@ ClioKvOffload::del(OffloadVm &vm, const std::string &key)
         cursor = slot.next;
     }
     res.value = 0; // absent
+    res.err_code = static_cast<std::uint32_t>(OffloadErrc::kNotFound);
     return res;
 }
 
@@ -362,6 +392,47 @@ ClioKvClient::get(const std::string &key)
     if (!reply || !reply->value)
         return std::nullopt;
     return std::string(reply->data.begin(), reply->data.end());
+}
+
+std::vector<std::optional<std::string>>
+ClioKvClient::mget(const std::vector<std::string> &keys)
+{
+    std::vector<std::optional<std::string>> out(keys.size());
+    // Group key indices by owning MN, preserving submission order.
+    std::vector<std::vector<std::size_t>> groups(mns_.size());
+    for (std::size_t i = 0; i < keys.size(); i++) {
+        const std::uint64_t h = ClioKvOffload::hashKey(keys[i]);
+        groups[h % mns_.size()].push_back(i);
+    }
+    const std::uint32_t max_depth =
+        client_.cnode().config().offload.max_chain_depth;
+    for (std::size_t g = 0; g < groups.size(); g++) {
+        const std::vector<std::size_t> &idxs = groups[g];
+        for (std::size_t base = 0; base < idxs.size();
+             base += max_depth) {
+            const std::size_t n =
+                std::min<std::size_t>(idxs.size() - base, max_depth);
+            // Independent kGet stages — no binds, just one round trip
+            // for the whole batch; per-stage replies carry each value.
+            ChainPlan plan;
+            for (std::size_t j = 0; j < n; j++)
+                plan.stage(offload_id_,
+                           kvEncode(KvOp::kGet, keys[idxs[base + j]]));
+            plan.perStageReplies();
+            const Result<OffloadReply> reply = client_.rcall_chain(
+                mns_[g], plan, /*expected_resp_bytes=*/n * 1200);
+            if (!reply)
+                continue; // whole batch failed: keys stay nullopt
+            for (std::size_t j = 0;
+                 j < n && j < reply->stages.size(); j++) {
+                const OffloadStageReply &stage = reply->stages[j];
+                if (stage.status == Status::kOk && stage.value)
+                    out[idxs[base + j]] = std::string(
+                        stage.data.begin(), stage.data.end());
+            }
+        }
+    }
+    return out;
 }
 
 bool

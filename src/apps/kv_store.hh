@@ -24,7 +24,8 @@
 #include <string>
 #include <vector>
 
-#include "cboard/offload.hh"
+#include "offload/descriptor.hh"
+#include "offload/offload.hh"
 #include "clib/client.hh"
 
 namespace clio {
@@ -42,6 +43,9 @@ class ClioKvOffload : public Offload
   public:
     /** @param bucket_count hash buckets (power of two recommended). */
     explicit ClioKvOffload(std::uint32_t bucket_count = 4096);
+
+    /** Deployment descriptor (hash + chain walker + slab allocator). */
+    static OffloadDescriptor descriptor(std::uint32_t id);
 
     void init(OffloadVm &vm) override;
     OffloadResult invoke(OffloadVm &vm,
@@ -118,6 +122,13 @@ class ClioKvClient
     bool put(const std::string &key, const std::string &value);
     std::optional<std::string> get(const std::string &key);
     bool del(const std::string &key);
+
+    /** Batched multi-get: keys are grouped per owning MN and each
+     * group ships as chained kGet stages (independent, no binds), so a
+     * batch costs one round trip per MN per max_chain_depth keys
+     * instead of one per key. Results align with `keys`. */
+    std::vector<std::optional<std::string>>
+    mget(const std::vector<std::string> &keys);
 
     /** MN serving a key (test hook). */
     NodeId mnForKey(const std::string &key) const;

@@ -24,7 +24,7 @@
 #include <string>
 #include <vector>
 
-#include "cboard/offload.hh"
+#include "offload/offload.hh"
 #include "clib/client.hh"
 
 namespace clio {

@@ -1,5 +1,6 @@
 #include "apps/radix_tree.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "sim/logging.hh"
@@ -18,21 +19,38 @@ PointerChaseOffload::encode(const Args &args)
     return out;
 }
 
+OffloadDescriptor
+PointerChaseOffload::descriptor(std::uint32_t id)
+{
+    OffloadDescriptor desc = defaultOffloadDescriptor(id);
+    desc.name = "pointer-chase";
+    desc.arg_bytes = sizeof(Args);
+    desc.reply_bytes_hint = 64;
+    desc.lut = 5200.0;        // walker FSM + 64-bit comparator
+    desc.bram_bytes = 2048.0; // one-node line buffer
+    desc.cycles_per_call = 4;
+    desc.cycles_per_element = 2;
+    return desc;
+}
+
 OffloadResult
 PointerChaseOffload::invoke(OffloadVm &vm,
                             const std::vector<std::uint8_t> &arg)
 {
     OffloadResult res;
     if (arg.size() != sizeof(Args)) {
-        res.status = Status::kOffloadError;
-        return res;
+        return offloadError(OffloadErrc::kBadArgument,
+                            "pointer-chase: argument is " +
+                                std::to_string(arg.size()) +
+                                " bytes, want " +
+                                std::to_string(sizeof(Args)));
     }
     Args args;
     std::memcpy(&args, arg.data(), sizeof(Args));
     if (args.value_offset + 8 > args.node_bytes ||
         args.next_offset + 8 > args.node_bytes) {
-        res.status = Status::kOffloadError;
-        return res;
+        return offloadError(OffloadErrc::kBadArgument,
+                            "pointer-chase: field offsets exceed node");
     }
 
     std::uint64_t cursor = args.start;
@@ -43,8 +61,9 @@ PointerChaseOffload::invoke(OffloadVm &vm,
         // One DRAM access per node: fetch the whole node, compare and
         // follow the link from the on-chip copy (§6's FPGA walker).
         if (!vm.read(cursor, node.data(), args.node_bytes)) {
-            res.status = Status::kBadAddress;
-            return res;
+            return offloadError(OffloadErrc::kBadAddress,
+                                "pointer-chase: node read faulted",
+                                Status::kBadAddress);
         }
         std::uint64_t value = 0, next = 0;
         std::memcpy(&value, node.data() + args.value_offset, 8);
@@ -216,6 +235,59 @@ RemoteRadixTree::searchOffload(const std::string &key)
         clio_assert(reply->data.size() == kNodeBytes,
                     "short chase reply");
         std::memcpy(&img, reply->data.data(), kNodeBytes);
+    }
+    if (img.value)
+        out.value = img.value;
+    return out;
+}
+
+RadixSearchResult
+RemoteRadixTree::searchChained(const std::string &key)
+{
+    RadixSearchResult out;
+    const Result<NodeImage> root = node(root_).read();
+    if (!root)
+        return out;
+    out.remote_reads++;
+    NodeImage img = *root;
+
+    // One chase stage per key character, chained MN-side: stage i's
+    // start address is bound from stage i-1's reply bytes [8, 16) —
+    // the matched node's child_head. Long keys are split into plans of
+    // max_chain_depth stages each.
+    const std::uint32_t max_depth =
+        client_.cnode().config().offload.max_chain_depth;
+    std::size_t pos = 0;
+    while (pos < key.size()) {
+        if (!img.child_head)
+            return out; // dead end
+        const std::size_t depth =
+            std::min<std::size_t>(key.size() - pos, max_depth);
+        ChainPlan plan;
+        for (std::size_t i = 0; i < depth; i++) {
+            PointerChaseOffload::Args args;
+            args.start = img.child_head; // stage 0; later stages bound
+            args.target =
+                static_cast<std::uint8_t>(key[pos + i]);
+            args.value_offset = 16; // NodeImage::ch
+            args.next_offset = 0;   // NodeImage::next
+            args.node_bytes = kNodeBytes;
+            plan.stage(chase_id_, PointerChaseOffload::encode(args));
+            if (i > 0)
+                plan.bindData(8, 0); // prev child_head -> args.start
+            plan.stopOnZeroValue(); // miss at any level ends the chain
+        }
+        const Result<OffloadReply> reply =
+            client_.rcall_chain(mn_, plan, kNodeBytes + 32);
+        if (!reply)
+            return out;
+        out.offload_calls++;
+        if (!reply->value)
+            return out; // no such edge at some level
+        clio_assert(reply->data.size() == kNodeBytes,
+                    "short chase reply");
+        std::memcpy(&img, reply->data.data(), kNodeBytes);
+        pos += depth;
     }
     if (img.value)
         out.value = img.value;

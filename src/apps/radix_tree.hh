@@ -20,7 +20,8 @@
 #include <string>
 #include <vector>
 
-#include "cboard/offload.hh"
+#include "offload/descriptor.hh"
+#include "offload/offload.hh"
 #include "clib/client.hh"
 #include "clib/remote_ptr.hh"
 
@@ -47,6 +48,10 @@ class PointerChaseOffload : public Offload
     };
 
     static std::vector<std::uint8_t> encode(const Args &args);
+
+    /** Deployment descriptor: typed arg schema + synthesis footprint
+     * (comparator + walker FSM, one-node line buffer). */
+    static OffloadDescriptor descriptor(std::uint32_t id);
 
     OffloadResult invoke(OffloadVm &vm,
                          const std::vector<std::uint8_t> &arg) override;
@@ -98,11 +103,24 @@ class RemoteRadixTree
     /** Search using the pointer-chase offload: one call per level. */
     RadixSearchResult searchOffload(const std::string &key);
 
+    /** Search using ONE chained offload plan: per-level chase stages
+     * linked MN-side (each stage's start address is bound from the
+     * previous match's child_head bytes), so the whole key costs one
+     * round trip per max_chain_depth levels instead of one per level. */
+    RadixSearchResult searchChained(const std::string &key);
+
     /** Search with plain remote reads (the RDMA-style traversal:
      * one round trip per visited node). */
     RadixSearchResult searchDirect(const std::string &key);
 
     std::uint64_t nodeCount() const { return node_count_; }
+
+    /** @{ Arena geometry, for CN-driven bulk-download baselines: the
+     * root is the first node at arenaBase(); child/next pointers are
+     * absolute VAs inside [arenaBase(), arenaBase() + arenaUsed()). */
+    VirtAddr arenaBase() const { return arena_; }
+    std::uint64_t arenaUsed() const { return arena_used_; }
+    /** @} */
 
   private:
     static constexpr std::uint64_t kNodeBytes = 32;

@@ -19,7 +19,8 @@ CBoard::CBoard(EventQueue &eq, Network &network, const ModelConfig &cfg,
       tlb_(cfg.fast_path.tlb_entries),
       valloc_(cfg.page_table.page_size, 1ull << 46),
       dedup_(cfg.dedup.entries),
-      async_buffer_(cfg.slow_path.async_buffer_pages)
+      async_buffer_(cfg.slow_path.async_buffer_pages),
+      offload_rt_(cfg.offload, cfg.fast_path.cycle)
 {
     phys_bytes_ = phys_bytes ? phys_bytes : cfg.mn_phys_bytes;
     node_ = net_.addNode([this](Packet pkt) { onPacket(std::move(pkt)); },
@@ -98,20 +99,9 @@ CBoard::restart()
     alive_ = true;
     bootstrapAsyncBuffer();
 
-    // Re-deploy registered offloads into the fresh board, in sorted id
-    // order so restart is deterministic across runs (offloads_ is an
-    // unordered_map).
-    std::vector<std::uint32_t> ids;
-    ids.reserve(offloads_.size());
-    for (const auto &[id, entry] : offloads_)
-        ids.push_back(id);
-    std::sort(ids.begin(), ids.end());
-    for (const auto id : ids) {
-        OffloadEntry &entry = offloads_[id];
-        entry.engine_free = 0;
-        OffloadVm vm(*this, entry.pid);
-        entry.offload->init(vm);
-    }
+    // Re-deploy registered offloads into the fresh board (sorted id
+    // order, engine watermarks cleared).
+    offload_rt_.reinit(*this);
 }
 
 // ---------------------------------------------------------------------
@@ -721,12 +711,28 @@ CBoard::slowPathPacket(const Packet &pkt)
 // ---------------------------------------------------------------------
 
 ProcId
+CBoard::registerOffload(OffloadDescriptor desc,
+                        std::shared_ptr<Offload> offload)
+{
+    // Deployment-time initialization happens inside the runtime (not
+    // on the request path).
+    return offload_rt_.deploy(*this, std::move(desc), std::move(offload));
+}
+
+ProcId
 CBoard::registerOffload(std::uint32_t offload_id,
                         std::shared_ptr<Offload> offload)
 {
-    const ProcId pid = next_offload_pid_++;
-    registerOffloadShared(offload_id, std::move(offload), pid);
-    return pid;
+    return registerOffload(defaultOffloadDescriptor(offload_id),
+                           std::move(offload));
+}
+
+void
+CBoard::registerOffloadShared(OffloadDescriptor desc,
+                              std::shared_ptr<Offload> offload, ProcId pid)
+{
+    offload_rt_.deployShared(*this, std::move(desc), std::move(offload),
+                             pid);
 }
 
 void
@@ -734,13 +740,8 @@ CBoard::registerOffloadShared(std::uint32_t offload_id,
                               std::shared_ptr<Offload> offload,
                               ProcId pid)
 {
-    clio_assert(!offloads_.count(offload_id),
-                "offload id %u already registered", offload_id);
-    auto [it, inserted] = offloads_.emplace(
-        offload_id, OffloadEntry{std::move(offload), pid, 0});
-    // Deployment-time initialization (not on the request path).
-    OffloadVm vm(*this, pid);
-    it->second.offload->init(vm);
+    registerOffloadShared(defaultOffloadDescriptor(offload_id),
+                          std::move(offload), pid);
 }
 
 void
@@ -783,30 +784,38 @@ CBoard::extendPathPacket(const Packet &pkt)
     resp->req_id = req.req_id;
     Tick done = std::max(inflight.done, gate_open_);
 
-    auto it = offloads_.find(req.offload_id);
-    if (it == offloads_.end()) {
-        resp->status = Status::kOffloadError;
+    stats_.offload_calls++;
+    if (!req.chain.empty())
+        stats_.offload_chains++;
+
+    // Dedup for offloads with side effects (treated like atomics).
+    if (auto cached = dedup_.find(req.orig_req_id)) {
+        dedup_.noteSuppressed();
+        resp->status = Status::kOk;
+        resp->value = *cached;
     } else {
-        stats_.offload_calls++;
-        OffloadEntry &entry = it->second;
-        done = std::max(done, entry.engine_free);
-        // Dedup for offloads with side effects (treated like atomics).
-        if (auto cached = dedup_.find(req.orig_req_id)) {
-            dedup_.noteSuppressed();
-            resp->status = Status::kOk;
-            resp->value = *cached;
+        OffloadResult result;
+        if (!req.chain.empty()) {
+            std::vector<OffloadStageReply> stage_replies;
+            done = offload_rt_.runChain(*this, req, done, result,
+                                        &stage_replies);
+            resp->stages = std::move(stage_replies);
         } else {
-            OffloadVm vm(*this, entry.pid);
-            OffloadResult result =
-                entry.offload->invoke(vm, req.offload_arg);
-            done += vm.cost();
-            resp->status = result.status;
-            resp->data = std::move(result.data);
-            resp->value = result.value;
-            if (result.status == Status::kOk)
-                dedup_.record(req.orig_req_id, result.value);
+            done = offload_rt_.runSingle(*this, req.offload_id,
+                                         req.offload_arg, done, result);
         }
-        entry.engine_free = done;
+        resp->status = result.status;
+        resp->value = result.value;
+        resp->err_code = result.err_code;
+        if (result.status == Status::kOk) {
+            resp->data = std::move(result.data);
+            dedup_.record(req.orig_req_id, result.value);
+        } else {
+            // A failed call carries the offload-defined message bytes
+            // as its payload (satellite: errors name themselves).
+            resp->data.assign(result.err_msg.begin(),
+                              result.err_msg.end());
+        }
     }
 
     done += fp.respond_cycles * fp.cycle + fp.mac_latency;
@@ -818,22 +827,15 @@ CBoard::extendPathPacket(const Packet &pkt)
 Tick
 CBoard::invokeOffloadLocal(std::uint32_t offload_id,
                            const std::vector<std::uint8_t> &arg,
-                           OffloadResult &result)
+                           OffloadResult &result, OffloadCost *split)
 {
-    auto it = offloads_.find(offload_id);
-    if (it == offloads_.end()) {
-        result.status = Status::kOffloadError;
-        return 0;
-    }
     stats_.offload_calls++;
-    OffloadVm vm(*this, it->second.pid);
-    result = it->second.offload->invoke(vm, arg);
-    return vm.cost();
+    return offload_rt_.invokeLocal(*this, offload_id, arg, result, split);
 }
 
 Tick
 CBoard::vmAccess(ProcId pid, VirtAddr addr, void *buf, std::uint64_t len,
-                 bool is_write, Tick start)
+                 bool is_write, Tick start, OffloadCost *split)
 {
     Tick t = std::max(start, eq_.now());
     Status status = Status::kOk;
@@ -844,9 +846,12 @@ CBoard::vmAccess(ProcId pid, VirtAddr addr, void *buf, std::uint64_t len,
     while (remaining > 0) {
         const std::uint64_t in_page = va % page_size;
         const std::uint64_t n = std::min(remaining, page_size - in_page);
+        Tick before = t;
         auto pte = translateOne(pid, va, is_write, t, status);
         if (!pte)
             return kTickMax;
+        if (split)
+            split->translate += t - before;
         if (is_write) {
             memory_.write(pte->frame + in_page, cursor, n);
             stats_.bytes_written += n;
@@ -854,7 +859,10 @@ CBoard::vmAccess(ProcId pid, VirtAddr addr, void *buf, std::uint64_t len,
             memory_.read(pte->frame + in_page, cursor, n);
             stats_.bytes_read += n;
         }
+        before = t;
         t = memoryAccess(t, n, is_write);
+        if (split)
+            split->dram += t - before;
         va += n;
         cursor += n;
         remaining -= n;
@@ -870,7 +878,7 @@ void
 CBoard::respondAt(Tick when, NodeId dst, ReqId req_id,
                   std::shared_ptr<ResponseMsg> resp)
 {
-    const std::uint64_t payload = resp->data.size();
+    const std::uint64_t payload = responsePayloadBytes(*resp);
     const MsgType type = resp->status == Status::kCorrupt
                              ? MsgType::kNack
                              : MsgType::kResponse;
@@ -974,7 +982,13 @@ CBoard::datapathBytes() const
 // OffloadVm
 // ---------------------------------------------------------------------
 
-OffloadVm::OffloadVm(CBoard &board, ProcId pid) : board_(board), pid_(pid)
+OffloadVm::OffloadVm(CBoard &board, ProcId pid)
+    : OffloadVm(board, pid, board.eq_.now())
+{
+}
+
+OffloadVm::OffloadVm(CBoard &board, ProcId pid, Tick start_at)
+    : board_(board), pid_(pid), start_at_(start_at)
 {
 }
 
@@ -985,7 +999,7 @@ OffloadVm::alloc(std::uint64_t size, std::uint8_t perm)
     const Tick cost = board_.slowPathAlloc(pid_, size, perm, resp);
     // Control-path hop to the ARM and back (§4.6: offload control
     // paths run on the ARM, data paths on the FPGA).
-    cost_ += cost + board_.cfg_.slow_path.interconnect_crossing;
+    cost_.control += cost + board_.cfg_.slow_path.interconnect_crossing;
     return resp.status == Status::kOk ? resp.value : 0;
 }
 
@@ -994,33 +1008,38 @@ OffloadVm::free(VirtAddr addr)
 {
     ResponseMsg resp;
     const Tick cost = board_.slowPathFree(pid_, addr, resp);
-    cost_ += cost + board_.cfg_.slow_path.interconnect_crossing;
+    cost_.control += cost + board_.cfg_.slow_path.interconnect_crossing;
     return resp.status == Status::kOk;
 }
 
 bool
 OffloadVm::read(VirtAddr addr, void *dst, std::uint64_t len)
 {
-    // The invocation's logical clock runs `cost_` ahead of the
-    // simulation clock; resources (DRAM occupancy) are shared in
-    // absolute time.
-    const Tick start = board_.eq_.now() + cost_;
-    const Tick done = board_.vmAccess(pid_, addr, dst, len, false, start);
+    // The invocation's logical clock runs `cost_` ahead of its start
+    // tick; resources (DRAM occupancy) are shared in absolute time.
+    // vmAccess attributes the access' time per component; the deltas
+    // sum to done - start, so the invariant cost_.total() ==
+    // done - start_at_ is preserved exactly.
+    const Tick start = start_at_ + cost_.total();
+    OffloadCost delta;
+    const Tick done =
+        board_.vmAccess(pid_, addr, dst, len, false, start, &delta);
     if (done == kTickMax)
-        return false;
-    cost_ = done - board_.eq_.now();
+        return false; // fault: no time charged (existing semantics)
+    cost_ += delta;
     return true;
 }
 
 bool
 OffloadVm::write(VirtAddr addr, const void *src, std::uint64_t len)
 {
-    const Tick start = board_.eq_.now() + cost_;
+    const Tick start = start_at_ + cost_.total();
+    OffloadCost delta;
     const Tick done = board_.vmAccess(
-        pid_, addr, const_cast<void *>(src), len, true, start);
+        pid_, addr, const_cast<void *>(src), len, true, start, &delta);
     if (done == kTickMax)
         return false;
-    cost_ = done - board_.eq_.now();
+    cost_ += delta;
     return true;
 }
 
@@ -1042,7 +1061,7 @@ OffloadVm::write64(VirtAddr addr, std::uint64_t value)
 void
 OffloadVm::chargeCycles(std::uint64_t cycles)
 {
-    cost_ += cycles * board_.cfg_.fast_path.cycle;
+    cost_.compute += cycles * board_.cfg_.fast_path.cycle;
 }
 
 } // namespace clio

@@ -36,10 +36,11 @@
 #include <vector>
 
 #include "cboard/dedup_buffer.hh"
-#include "cboard/offload.hh"
 #include "mem/frame_allocator.hh"
 #include "mem/physical_memory.hh"
 #include "net/network.hh"
+#include "offload/offload.hh"
+#include "offload/runtime.hh"
 #include "pagetable/hash_page_table.hh"
 #include "pagetable/tlb.hh"
 #include "proto/messages.hh"
@@ -59,6 +60,8 @@ struct CBoardStats
     std::uint64_t allocs = 0;
     std::uint64_t frees = 0;
     std::uint64_t offload_calls = 0;
+    /** Chained offload plans dispatched (subset of offload_calls). */
+    std::uint64_t offload_chains = 0;
     std::uint64_t page_faults = 0;
     std::uint64_t nacks_sent = 0;
     std::uint64_t bad_address = 0;
@@ -105,9 +108,13 @@ class CBoard
     /** @} */
 
     /**
-     * Deploy an offload under `offload_id`; it gets a fresh PID and
-     * empty RAS. @return the offload's PID.
+     * Deploy an offload with a full descriptor; it gets a fresh PID
+     * and empty RAS. @return the offload's PID.
      */
+    ProcId registerOffload(OffloadDescriptor desc,
+                           std::shared_ptr<Offload> offload);
+
+    /** Legacy deploy under a bare id (default descriptor). */
     ProcId registerOffload(std::uint32_t offload_id,
                            std::shared_ptr<Offload> offload);
 
@@ -115,9 +122,18 @@ class CBoard
      * Register an offload that *shares* an existing address space
      * (Clio-DF style: CN computation and MN offloads on one RAS, §6).
      */
+    void registerOffloadShared(OffloadDescriptor desc,
+                               std::shared_ptr<Offload> offload,
+                               ProcId pid);
+
+    /** Legacy shared deploy under a bare id (default descriptor). */
     void registerOffloadShared(std::uint32_t offload_id,
                                std::shared_ptr<Offload> offload,
                                ProcId pid);
+
+    /** The extend-path runtime: registry, engine scheduler, stats. */
+    OffloadRuntime &offloadRuntime() { return offload_rt_; }
+    const OffloadRuntime &offloadRuntime() const { return offload_rt_; }
 
     /** Fraction of physical frames in use (controller pressure input,
      * §4.7); counts frames reserved in the async buffer as used. */
@@ -174,10 +190,12 @@ class CBoard
 
     /** Invoke a registered offload directly (no network) — the
      * developer-simulator path (§5) and offload unit tests.
+     * @param split when non-null, receives the invocation's cost split.
      * @return modeled device time of the invocation. */
     Tick invokeOffloadLocal(std::uint32_t offload_id,
                             const std::vector<std::uint8_t> &arg,
-                            OffloadResult &result);
+                            OffloadResult &result,
+                            OffloadCost *split = nullptr);
 
     /** Tear down a process: drop VA state, PTEs, frames, TLB entries. */
     void destroyProcess(ProcId pid);
@@ -222,9 +240,11 @@ class CBoard
     /** Offload VM access used by OffloadVm (translate + move bytes).
      * @param start the offload's logical time (>= now; an invocation
      *        accumulates cost ahead of the simulation clock).
+     * @param split when non-null, accumulates the access' time per
+     *        component (translate / dram).
      * @return completion tick, or kTickMax on fault. */
     Tick vmAccess(ProcId pid, VirtAddr addr, void *buf, std::uint64_t len,
-                  bool is_write, Tick start);
+                  bool is_write, Tick start, OffloadCost *split = nullptr);
 
   private:
     friend class OffloadVm;
@@ -342,14 +362,10 @@ class CBoard
      * request; alive ~one RTT until the CN's completion fires). */
     MessagePool<ResponseMsg> resp_pool_;
 
-    struct OffloadEntry
-    {
-        std::shared_ptr<Offload> offload;
-        ProcId pid;
-        Tick engine_free = 0; ///< per-offload engine serialization
-    };
-    std::unordered_map<std::uint32_t, OffloadEntry> offloads_;
-    ProcId next_offload_pid_ = 0xF0000000;
+    /** Extend-path runtime (registry + engine scheduler). Deployments
+     * are durable configuration: they survive crash()/restart(), which
+     * re-runs init() via OffloadRuntime::reinit(). */
+    OffloadRuntime offload_rt_;
 
     std::function<bool(ProcId, std::uint64_t)> window_request_;
     bool windowed_mode_ = false;

@@ -134,17 +134,13 @@ ClioClient::issueNow(Op op)
     inflight_fps_.push_back(InflightFp{seq, op.fp});
     inflight_ops_.push_back(std::move(op));
     cn_.issue(std::move(req), expected,
-              [this, seq](Status status,
-                          const std::vector<std::uint8_t> &data,
-                          std::uint64_t value) {
-                  onComplete(seq, status, data, value);
+              [this, seq](const ResponseMsg &resp) {
+                  onComplete(seq, resp);
               });
 }
 
 void
-ClioClient::onComplete(std::uint64_t op_seq, Status status,
-                       const std::vector<std::uint8_t> &data,
-                       std::uint64_t value)
+ClioClient::onComplete(std::uint64_t op_seq, const ResponseMsg &resp)
 {
     std::size_t idx = inflight_fps_.size();
     for (std::size_t i = 0; i < inflight_fps_.size(); i++) {
@@ -160,14 +156,22 @@ ClioClient::onComplete(std::uint64_t op_seq, Status status,
     inflight_ops_[idx] = std::move(inflight_ops_.back());
     inflight_ops_.pop_back();
 
+    const Status status = resp.status;
+    const std::uint64_t value = resp.value;
     op.handle->status = status;
     op.handle->value = value;
+    op.handle->err_code = resp.err_code;
     if (op.read_buf && status == Status::kOk) {
-        std::memcpy(op.read_buf, data.data(),
-                    std::min<std::uint64_t>(data.size(), op.req->size));
-    } else if (!op.read_buf && !data.empty()) {
-        op.handle->data = data; // offload results
+        std::memcpy(op.read_buf, resp.data.data(),
+                    std::min<std::uint64_t>(resp.data.size(),
+                                            op.req->size));
+    } else if (!op.read_buf && !resp.data.empty()) {
+        // Offload results — or, on a failed offload, its error
+        // message bytes.
+        op.handle->data = resp.data;
     }
+    if (!resp.stages.empty())
+        op.handle->stages = resp.stages;
 
     // Post-processing of metadata ops.
     if (op.req->type == MsgType::kAlloc && status == Status::kOk) {
@@ -384,6 +388,28 @@ ClioClient::offloadAsync(NodeId mn, std::uint32_t offload_id,
     return submit(std::move(op));
 }
 
+HandlePtr
+ClioClient::rcallChainAsync(NodeId mn, const ChainPlan &plan,
+                            std::uint64_t expected_resp_bytes)
+{
+    stats_.offloads++;
+    stats_.offload_chains++;
+    auto req = cn_.requestPool().acquire();
+    req->type = MsgType::kOffload;
+    req->pid = pid_;
+    req->dst = mn;
+    req->chain = plan.stages();
+    req->chain_per_stage = plan.perStage();
+    Op op;
+    // Like single offloads: chains act on offload address spaces,
+    // ordered by the app via rpoll when needed.
+    op.fp = Footprint{0, 0, false, false};
+    op.handle = cn_.handlePool().acquire();
+    op.req = std::move(req);
+    op.expected_resp_bytes = expected_resp_bytes;
+    return submit(std::move(op));
+}
+
 bool
 ClioClient::rpoll(const std::vector<HandlePtr> &handles)
 {
@@ -517,10 +543,37 @@ ClioClient::rcall(NodeId mn, std::uint32_t offload_id,
                           expected_resp_bytes);
     rpoll(h);
     if (h->status != Status::kOk)
-        return h->status;
+        return Result<OffloadReply>(
+            h->status, h->err_code,
+            std::string(h->data.begin(), h->data.end()));
     OffloadReply reply;
     reply.value = h->value;
     reply.data = std::move(h->data);
+    return reply;
+}
+
+Result<OffloadReply>
+ClioClient::rcall_chain(NodeId mn, const ChainPlan &plan,
+                        std::uint64_t expected_resp_bytes)
+{
+    if (plan.depth() == 0) {
+        // Reject locally: an empty chain would go out as a single
+        // call for offload id 0.
+        return Result<OffloadReply>(
+            Status::kOffloadError,
+            static_cast<std::uint32_t>(OffloadErrc::kBadArgument),
+            "empty chain");
+    }
+    auto h = rcallChainAsync(mn, plan, expected_resp_bytes);
+    rpoll(h);
+    if (h->status != Status::kOk)
+        return Result<OffloadReply>(
+            h->status, h->err_code,
+            std::string(h->data.begin(), h->data.end()));
+    OffloadReply reply;
+    reply.value = h->value;
+    reply.data = std::move(h->data);
+    reply.stages = std::move(h->stages);
     return reply;
 }
 

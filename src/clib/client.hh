@@ -35,6 +35,7 @@
 
 #include "clib/cnode.hh"
 #include "clib/result.hh"
+#include "offload/chain.hh"
 #include "pagetable/pte.hh"
 #include "proto/messages.hh"
 #include "sim/stats.hh"
@@ -59,8 +60,15 @@ struct RequestHandle
     /** Scalar result (allocated VA, atomic old value, offload value). */
     std::uint64_t value = 0;
     /** Offload result payload (reads land in the caller's buffer).
-     * Moved into the Completion when a CompletionQueue is bound. */
+     * Moved into the Completion when a CompletionQueue is bound. A
+     * failed offload carries its error message bytes here. */
     std::vector<std::uint8_t> data;
+    /** Offload-defined error code (offload/errc.hh); 0 unless an
+     * offload invocation failed. */
+    std::uint32_t err_code = 0;
+    /** Per-stage replies of a chained offload call (filled only when
+     * the plan asked for perStageReplies()). */
+    std::vector<OffloadStageReply> stages;
 
     /** Scalar result as a typed Result (status + value). */
     Result<std::uint64_t> result() const
@@ -83,6 +91,8 @@ struct RequestHandle
         status = Status::kOk;
         value = 0;
         data.clear();
+        err_code = 0;
+        stages.clear();
         cq_ = nullptr;
         tag_ = 0;
         delivered_ = false;
@@ -127,6 +137,9 @@ struct OffloadReply
     std::uint64_t value = 0;
     /** Result payload. */
     std::vector<std::uint8_t> data;
+    /** Per-stage replies of a chained call (only when the plan asked
+     * for perStageReplies()). */
+    std::vector<OffloadStageReply> stages;
 };
 
 /** Per-client operation counters. */
@@ -139,6 +152,7 @@ struct ClientStats
     std::uint64_t atomics = 0;
     std::uint64_t fences = 0;
     std::uint64_t offloads = 0;
+    std::uint64_t offload_chains = 0;  ///< chained plans submitted
     std::uint64_t ordering_stalls = 0; ///< requests queued on a conflict
     std::uint64_t batches = 0;         ///< SubmissionBatch doorbells
     std::uint64_t batched_ops = 0;     ///< ops submitted via batches
@@ -214,6 +228,10 @@ class ClioClient
     HandlePtr offloadAsync(NodeId mn, std::uint32_t offload_id,
                            std::vector<std::uint8_t> arg,
                            std::uint64_t expected_resp_bytes = 256);
+    /** Submit a chained offload plan (chain.hh): the stages execute
+     * back to back on the MN, one network round trip total. */
+    HandlePtr rcallChainAsync(NodeId mn, const ChainPlan &plan,
+                              std::uint64_t expected_resp_bytes = 256);
     /** @} */
 
     /** Pump the simulation until every handle completes.
@@ -250,10 +268,17 @@ class ClioClient
     Status rfence();
     /** @} */
 
-    /** Synchronous offload invocation (extend path, §4.6). */
+    /** Synchronous offload invocation (extend path, §4.6). On failure
+     * the Result carries the offload-defined error code + message. */
     Result<OffloadReply> rcall(NodeId mn, std::uint32_t offload_id,
                                std::vector<std::uint8_t> arg,
                                std::uint64_t expected_resp_bytes = 256);
+
+    /** Synchronous chained offload call: submit the whole plan, get
+     * the final stage's reply (or every stage's, when the plan asked
+     * for perStageReplies()) after ONE round trip. */
+    Result<OffloadReply> rcall_chain(NodeId mn, const ChainPlan &plan,
+                                     std::uint64_t expected_resp_bytes = 256);
 
     const ClientStats &stats() const { return stats_; }
 
@@ -313,9 +338,7 @@ class ClioClient
     /** Admit an op: issue now or queue behind conflicting ones (T2). */
     HandlePtr submit(Op op);
     void issueNow(Op op);
-    void onComplete(std::uint64_t op_seq, Status status,
-                    const std::vector<std::uint8_t> &data,
-                    std::uint64_t value);
+    void onComplete(std::uint64_t op_seq, const ResponseMsg &resp);
     void drainPending();
 
     CNode &cn_;

@@ -86,7 +86,9 @@ CNode::issue(std::shared_ptr<RequestMsg> req,
         stats_.failures++;
         eq_.schedule(eq_.now() + cfg_.clib.recv_overhead,
                      [cb = std::move(cb)] {
-                         cb(Status::kTimeout, {}, 0);
+                         ResponseMsg fail;
+                         fail.status = Status::kTimeout;
+                         cb(fail);
                      });
         return;
     }
@@ -177,11 +179,7 @@ CNode::transmit(Outstanding &out)
     out.resp_seen_bits.clear();
     out.resp_corrupted = false;
 
-    std::uint64_t payload = 0;
-    if (req.type == MsgType::kWrite)
-        payload = req.size;
-    else if (req.type == MsgType::kOffload)
-        payload = req.offload_arg.size();
+    const std::uint64_t payload = requestPayloadBytes(req);
 
     // CLib software send + CN NIC traversal, then onto the wire.
     const Tick on_wire =
@@ -288,7 +286,9 @@ CNode::retry(std::uint32_t slot, bool congestion_signal)
         const Tick deliver = eq_.now() + cfg_.clib.recv_overhead;
         auto cb = std::move(out.cb);
         eq_.schedule(deliver, [cb = std::move(cb), status] {
-            cb(status, {}, 0);
+            ResponseMsg fail;
+            fail.status = status;
+            cb(fail);
         });
         freeSlot(slot);
         pumpWaiting();
@@ -468,9 +468,8 @@ CNode::onPacket(Packet pkt)
     // CN NIC + CLib software receive overhead before the app sees it.
     const Tick deliver =
         eq_.now() + cfg_.clib.nic_latency + cfg_.clib.recv_overhead;
-    eq_.schedule(deliver, [cb = std::move(cb), resp] {
-        cb(resp->status, resp->data, resp->value);
-    });
+    eq_.schedule(deliver,
+                 [cb = std::move(cb), resp] { cb(*resp); });
     pumpWaiting();
 }
 
@@ -494,7 +493,9 @@ CNode::crash()
         auto cb = std::move(out.cb);
         eq_.schedule(eq_.now() + cfg_.clib.recv_overhead,
                      [cb = std::move(cb)] {
-                         cb(Status::kTimeout, {}, 0);
+                         ResponseMsg fail;
+                         fail.status = Status::kTimeout;
+                         cb(fail);
                      });
         freeSlot(slot);
     }

@@ -61,10 +61,11 @@ struct CNodeStats
 class CNode
 {
   public:
-    /** Completion callback: status + response payload + scalar. */
-    using Completion = std::function<void(Status,
-                                          const std::vector<std::uint8_t> &,
-                                          std::uint64_t value)>;
+    /** Completion callback, handed the full assembled response (status,
+     * payload, scalar value, offload error code, per-stage replies).
+     * CLib-side failures (timeout, retry exhaustion, dead node) deliver
+     * a synthesized response carrying only the failure status. */
+    using Completion = std::function<void(const ResponseMsg &)>;
 
     CNode(EventQueue &eq, Network &network, const ModelConfig &cfg,
           RackId rack = 0);

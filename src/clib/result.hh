@@ -12,8 +12,11 @@
 #ifndef CLIO_CLIB_RESULT_HH
 #define CLIO_CLIB_RESULT_HH
 
+#include <cstdint>
+#include <string>
 #include <utility>
 
+#include "offload/errc.hh"
 #include "proto/messages.hh"
 #include "sim/logging.hh"
 
@@ -35,6 +38,15 @@ class Result
                     "Result error constructor needs a non-Ok status");
     }
 
+    /** Failure with offload-level detail: the offload-defined error
+     * code (offload/errc.hh) and the message bytes the MN sent back. */
+    Result(Status error, std::uint32_t err_code, std::string err_msg)
+        : status_(error), err_code_(err_code), err_msg_(std::move(err_msg))
+    {
+        clio_assert(error != Status::kOk,
+                    "Result error constructor needs a non-Ok status");
+    }
+
     bool ok() const { return status_ == Status::kOk; }
     explicit operator bool() const { return ok(); }
 
@@ -42,6 +54,14 @@ class Result
 
     /** Status name for log/assert messages ("Ok", "BadAddress", ...). */
     const char *statusName() const { return to_string(status_); }
+
+    /** @{ Offload-level error detail (0/"" unless the failing call was
+     * an offload that reported one). */
+    std::uint32_t errCode() const { return err_code_; }
+    const std::string &errMessage() const { return err_msg_; }
+    /** Name of the error code ("NotFound", "App(3)", ...). */
+    std::string errName() const { return offloadErrcName(err_code_); }
+    /** @} */
 
     /** @{ The value; asserts on error (check ok() first). */
     T &value() &
@@ -78,6 +98,10 @@ class Result
 
   private:
     Status status_;
+    /** @{ Offload error detail (failure constructor only). */
+    std::uint32_t err_code_ = 0;
+    std::string err_msg_;
+    /** @} */
     /** Default-constructed on error; only exposed when ok(). */
     T value_{};
 };

@@ -57,6 +57,12 @@ cnShareMultiplier(SystemKind kind)
     }
 }
 
+double
+offloadEnergyMj(const EnergyConfig &cfg, Tick engine_busy)
+{
+    return cfg.offload_engine_watts * ticksToSeconds(engine_busy) * 1e3;
+}
+
 EnergyBreakdown
 perRequestEnergy(const EnergyConfig &cfg, SystemKind kind, Tick runtime,
                  std::uint64_t requests)

@@ -56,6 +56,11 @@ double cnShareMultiplier(SystemKind kind);
 EnergyBreakdown perRequestEnergy(const EnergyConfig &cfg, SystemKind kind,
                                  Tick runtime, std::uint64_t requests);
 
+/** Energy (mJ) an offload burned while occupying an engine for
+ * `engine_busy` of simulated time: active-engine power on top of the
+ * CBoard's baseline draw (Fig. 21 attribution for the extend path). */
+double offloadEnergyMj(const EnergyConfig &cfg, Tick engine_busy);
+
 } // namespace clio
 
 #endif // CLIO_ENERGY_ENERGY_HH

@@ -57,6 +57,27 @@ clioUtilization(const ModelConfig &cfg, const FpgaDevice &dev)
 }
 
 std::vector<FpgaUtilization>
+offloadUtilization(const std::vector<OffloadDescriptor> &descs,
+                   std::uint32_t engines, const FpgaDevice &dev)
+{
+    auto pct = [](double x, double cap) { return 100.0 * x / cap; };
+    std::vector<FpgaUtilization> rows;
+    double lut = 0, bram = 0;
+    for (const OffloadDescriptor &desc : descs) {
+        const double d_lut = desc.lut * engines;
+        const double d_bram = desc.bram_bytes;
+        rows.push_back({desc.name, pct(d_lut, dev.logic_cells),
+                        pct(d_bram, dev.bram_bytes)});
+        lut += d_lut;
+        bram += d_bram;
+    }
+    rows.insert(rows.begin(),
+                {"Offloads (Total)", pct(lut, dev.logic_cells),
+                 pct(bram, dev.bram_bytes)});
+    return rows;
+}
+
+std::vector<FpgaUtilization>
 comparisonUtilization()
 {
     // Published numbers quoted by Fig. 22.

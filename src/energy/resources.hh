@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "offload/descriptor.hh"
 #include "sim/config.hh"
 
 namespace clio {
@@ -46,6 +47,14 @@ std::vector<FpgaUtilization> clioUtilization(const ModelConfig &cfg,
 /** Published utilization of the comparison systems (StRoM RoCEv2 and
  * Tonic selective-ack), from the papers cited in Fig. 22. */
 std::vector<FpgaUtilization> comparisonUtilization();
+
+/** Fig. 22 rows for deployed offloads: each offload's compute logic
+ * is replicated per engine (LUT × engines) while its staging memory
+ * is shared across engines (BRAM counted once). One row per
+ * descriptor, plus an "Offloads (Total)" summary row. */
+std::vector<FpgaUtilization>
+offloadUtilization(const std::vector<OffloadDescriptor> &descs,
+                   std::uint32_t engines, const FpgaDevice &dev = {});
 
 } // namespace clio
 

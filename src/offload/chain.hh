@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Chained offload plans (extend path, §4.6).
+ *
+ * A ChainPlan is a small program the CN submits ONCE: a sequence of
+ * registered offloads executed back to back on the MN, each stage's
+ * argument optionally patched with bytes from an earlier stage's
+ * reply (binds). Data-dependent pipelines like pointer-chase ->
+ * filter -> aggregate therefore pay one network round trip instead of
+ * one per stage — the crossover bench_offload measures.
+ *
+ * The builder is fluent: stage() appends a stage, and the bind/stop
+ * modifiers apply to the most recently appended one:
+ *
+ *   ChainPlan plan;
+ *   plan.stage(kChaseId, PointerChaseOffload::encode(args))
+ *       .bindData(8, 0)        // prev.data[8..16) -> arg[0..8)
+ *       .stopOnZeroValue();
+ */
+
+#ifndef CLIO_OFFLOAD_CHAIN_HH
+#define CLIO_OFFLOAD_CHAIN_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "proto/messages.hh"
+#include "sim/logging.hh"
+
+namespace clio {
+
+/** CN-side builder for a chained offload call. */
+class ChainPlan
+{
+  public:
+    /** Append a stage invoking `offload_id` with `arg` as its
+     * argument template. */
+    ChainPlan &
+    stage(std::uint32_t offload_id, std::vector<std::uint8_t> arg)
+    {
+        OffloadChainStage s;
+        s.offload_id = offload_id;
+        s.arg = std::move(arg);
+        stages_.push_back(std::move(s));
+        return *this;
+    }
+
+    /** Bind `len` bytes at `src_offset` of a prior stage's reply DATA
+     * into the last stage's arg at `dst_offset`. */
+    ChainPlan &
+    bindData(std::uint32_t src_offset, std::uint32_t dst_offset,
+             std::uint32_t len = 8,
+             std::uint32_t src_stage = kOffloadPrevStage)
+    {
+        return bind({src_stage, false, src_offset, dst_offset, len});
+    }
+
+    /** Bind a prior stage's 8-byte VALUE register into the last
+     * stage's arg at `dst_offset`. */
+    ChainPlan &
+    bindValue(std::uint32_t dst_offset,
+              std::uint32_t src_stage = kOffloadPrevStage)
+    {
+        return bind({src_stage, true, 0, dst_offset, 8});
+    }
+
+    /** End the chain successfully after the last stage when its reply
+     * value is 0 (pointer-chase miss semantics). */
+    ChainPlan &
+    stopOnZeroValue()
+    {
+        clio_assert(!stages_.empty(), "stopOnZeroValue before stage()");
+        stages_.back().stop_on_zero_value = true;
+        return *this;
+    }
+
+    /** Request every stage's reply (OffloadReply::stages) instead of
+     * the final stage's only. */
+    ChainPlan &
+    perStageReplies()
+    {
+        per_stage_ = true;
+        return *this;
+    }
+
+    std::size_t depth() const { return stages_.size(); }
+    bool perStage() const { return per_stage_; }
+    const std::vector<OffloadChainStage> &stages() const { return stages_; }
+
+  private:
+    ChainPlan &
+    bind(OffloadChainBind b)
+    {
+        clio_assert(!stages_.empty(), "bind before stage()");
+        stages_.back().binds.push_back(b);
+        return *this;
+    }
+
+    std::vector<OffloadChainStage> stages_;
+    bool per_stage_ = false;
+};
+
+} // namespace clio
+
+#endif // CLIO_OFFLOAD_CHAIN_HH

@@ -1,0 +1,44 @@
+#include "offload/engine.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace clio {
+
+EngineScheduler::EngineScheduler(std::uint32_t engines)
+    : free_at_(std::max<std::uint32_t>(engines, 1), 0)
+{
+}
+
+EngineScheduler::Grant
+EngineScheduler::admit(Tick ready)
+{
+    // Earliest-free engine; std::min_element keeps the FIRST minimum,
+    // which is exactly the lowest-index tie-break the determinism
+    // suite pins.
+    auto it = std::min_element(free_at_.begin(), free_at_.end());
+    Grant grant;
+    grant.engine = static_cast<std::uint32_t>(it - free_at_.begin());
+    grant.start = std::max(ready, *it);
+    stats_.dispatches++;
+    stats_.wait_ticks += grant.start - ready;
+    return grant;
+}
+
+void
+EngineScheduler::complete(const Grant &grant, Tick done)
+{
+    clio_assert(grant.engine < free_at_.size(), "bad engine grant");
+    clio_assert(done >= grant.start, "engine completes before it starts");
+    stats_.busy_ticks += done - grant.start;
+    free_at_[grant.engine] = std::max(free_at_[grant.engine], done);
+}
+
+void
+EngineScheduler::reset()
+{
+    std::fill(free_at_.begin(), free_at_.end(), 0);
+}
+
+} // namespace clio

@@ -1,0 +1,16 @@
+#include "offload/errc.hh"
+
+namespace clio {
+
+std::string
+offloadErrcName(std::uint32_t code)
+{
+    if (const char *name = to_string(static_cast<OffloadErrc>(code)))
+        return name;
+    constexpr auto kAppBase = static_cast<std::uint32_t>(OffloadErrc::kAppBase);
+    if (code >= kAppBase)
+        return "App(" + std::to_string(code - kAppBase) + ")";
+    return "OffloadErrc(" + std::to_string(code) + ")";
+}
+
+} // namespace clio

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Offload-defined error codes (extend path, §4.6).
+ *
+ * Status::kOffloadError tells the CN only that the extend path
+ * rejected the call; the runtime additionally carries a 32-bit
+ * offload-defined error code (plus optional message bytes) in the
+ * reply so applications can distinguish "bad argument" from "key not
+ * found" without a second round trip. Codes below kAppBase are
+ * reserved for the runtime itself; offloads are free to return
+ * anything >= kAppBase.
+ */
+
+#ifndef CLIO_OFFLOAD_ERRC_HH
+#define CLIO_OFFLOAD_ERRC_HH
+
+#include <cstdint>
+#include <string>
+
+namespace clio {
+
+/** Runtime-reserved offload error codes. */
+enum class OffloadErrc : std::uint32_t {
+    kNone = 0,         ///< no offload-level error
+    kBadArgument = 1,  ///< argument bytes fail the descriptor's schema
+    kBadAddress = 2,   ///< VM access faulted (no PTE)
+    kPermDenied = 3,   ///< VM access failed the permission check
+    kAllocFailed = 4,  ///< vm.alloc() could not be satisfied
+    kNotFound = 5,     ///< lookup miss (KV get/delete on absent key)
+    kUnregistered = 6, ///< no offload under the requested id
+    kChainTooDeep = 7, ///< plan exceeds OffloadConfig::max_chain_depth
+    kBadChainBind = 8, ///< bind source/destination out of range
+    kValueTooLarge = 9, ///< payload exceeds the offload's limits
+    /** First code available for application-defined errors. */
+    kAppBase = 256,
+};
+
+/** Name of a runtime-reserved code ("BadArgument", ...). */
+inline const char *
+to_string(OffloadErrc errc)
+{
+    switch (errc) {
+      case OffloadErrc::kNone:
+        return "None";
+      case OffloadErrc::kBadArgument:
+        return "BadArgument";
+      case OffloadErrc::kBadAddress:
+        return "BadAddress";
+      case OffloadErrc::kPermDenied:
+        return "PermDenied";
+      case OffloadErrc::kAllocFailed:
+        return "AllocFailed";
+      case OffloadErrc::kNotFound:
+        return "NotFound";
+      case OffloadErrc::kUnregistered:
+        return "Unregistered";
+      case OffloadErrc::kChainTooDeep:
+        return "ChainTooDeep";
+      case OffloadErrc::kBadChainBind:
+        return "BadChainBind";
+      case OffloadErrc::kValueTooLarge:
+        return "ValueTooLarge";
+      case OffloadErrc::kAppBase:
+        break;
+    }
+    return nullptr;
+}
+
+/** Name for any raw code off the wire: reserved codes by name,
+ * application codes as "App(code - kAppBase)", unknown reserved codes
+ * as "OffloadErrc(code)". */
+std::string offloadErrcName(std::uint32_t code);
+
+} // namespace clio
+
+#endif // CLIO_OFFLOAD_ERRC_HH

@@ -8,16 +8,27 @@
  * virtual memory interface CN applications use — that is the paper's
  * key ergonomic claim. The VmView passed to an invocation provides
  * that interface and accounts the modeled device time the offload
- * spends (translations, DRAM accesses, compute cycles).
+ * spends, split by component (translations, DRAM accesses, compute
+ * cycles, ARM control crossings) so the latency-breakdown and energy
+ * models can attribute offload time.
+ *
+ * Offloads are deployed through the OffloadRegistry (registry.hh)
+ * with a per-offload descriptor (descriptor.hh) and dispatched by the
+ * OffloadRuntime (runtime.hh), which also executes chained plans
+ * (chain.hh) and schedules a configurable number of offload engines
+ * (engine.hh).
  */
 
-#ifndef CLIO_CBOARD_OFFLOAD_HH
-#define CLIO_CBOARD_OFFLOAD_HH
+#ifndef CLIO_OFFLOAD_OFFLOAD_HH
+#define CLIO_OFFLOAD_OFFLOAD_HH
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "offload/errc.hh"
 #include "pagetable/pte.hh"
 #include "proto/messages.hh"
 #include "sim/types.hh"
@@ -25,6 +36,35 @@
 namespace clio {
 
 class CBoard;
+
+/**
+ * Modeled device time of one offload invocation, by component:
+ *  - translate: TLB lookups + page-table bucket fetches (TLB misses);
+ *  - dram: data movement through the board DRAM (incl. queueing on
+ *    the shared DRAM-bandwidth watermark);
+ *  - compute: chargeCycles() FPGA processing;
+ *  - control: ARM slow-path work (vm.alloc/vm.free) + interconnect
+ *    crossings.
+ */
+struct OffloadCost
+{
+    Tick translate = 0;
+    Tick dram = 0;
+    Tick compute = 0;
+    Tick control = 0;
+
+    Tick total() const { return translate + dram + compute + control; }
+
+    OffloadCost &
+    operator+=(const OffloadCost &o)
+    {
+        translate += o.translate;
+        dram += o.dram;
+        compute += o.compute;
+        control += o.control;
+        return *this;
+    }
+};
 
 /**
  * Virtual-memory window an offload invocation runs against.
@@ -37,7 +77,16 @@ class CBoard;
 class OffloadVm
 {
   public:
+    /**
+     * @param start_at logical tick the invocation begins (engine grant
+     *        for dispatched calls; a chain stage starts where the
+     *        previous stage finished, so its DRAM accesses queue
+     *        behind the board's shared watermarks from that point —
+     *        not from eq.now(), which would re-bill earlier stages'
+     *        occupancy). Defaults to the board's current time.
+     */
     OffloadVm(CBoard &board, ProcId pid);
+    OffloadVm(CBoard &board, ProcId pid, Tick start_at);
 
     /** Allocate remote virtual memory (slow-path, on-board: no
      * network round trip). Returns 0 on failure. */
@@ -62,7 +111,10 @@ class OffloadVm
     void chargeCycles(std::uint64_t cycles);
 
     /** Modeled device time consumed so far by this invocation. */
-    Tick cost() const { return cost_; }
+    Tick cost() const { return cost_.total(); }
+
+    /** The same time, attributed per component. */
+    const OffloadCost &costSplit() const { return cost_; }
 
     ProcId pid() const { return pid_; }
 
@@ -70,7 +122,10 @@ class OffloadVm
     friend class CBoard;
     CBoard &board_;
     ProcId pid_;
-    Tick cost_ = 0;
+    /** Logical start tick; the invocation clock is start_at_ +
+     * cost_.total(). */
+    Tick start_at_;
+    OffloadCost cost_;
 };
 
 /** Result of one offload invocation. */
@@ -79,7 +134,25 @@ struct OffloadResult
     Status status = Status::kOk;
     std::vector<std::uint8_t> data;
     std::uint64_t value = 0;
+    /** Offload-defined error code (OffloadErrc or >= kAppBase);
+     * meaningful when status != kOk. */
+    std::uint32_t err_code = 0;
+    /** Human-readable error detail, carried to the CN as the reply's
+     * payload bytes when the call failed. */
+    std::string err_msg;
 };
+
+/** Failed OffloadResult carrying a reserved runtime error code. */
+inline OffloadResult
+offloadError(OffloadErrc errc, std::string msg,
+             Status status = Status::kOffloadError)
+{
+    OffloadResult res;
+    res.status = status;
+    res.err_code = static_cast<std::uint32_t>(errc);
+    res.err_msg = std::move(msg);
+    return res;
+}
 
 /** Interface implemented by application offloads (radix-tree pointer
  * chaser, Clio-KV, Clio-MV, Clio-DF operators, ...). */
@@ -103,4 +176,4 @@ class Offload
 
 } // namespace clio
 
-#endif // CLIO_CBOARD_OFFLOAD_HH
+#endif // CLIO_OFFLOAD_OFFLOAD_HH

@@ -1,0 +1,54 @@
+#include "offload/registry.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace clio {
+
+ProcId
+OffloadRegistry::deploy(OffloadDescriptor desc,
+                        std::shared_ptr<Offload> offload)
+{
+    ProcId pid = next_pid_++;
+    deployShared(std::move(desc), std::move(offload), pid);
+    return pid;
+}
+
+void
+OffloadRegistry::deployShared(OffloadDescriptor desc,
+                              std::shared_ptr<Offload> offload, ProcId pid)
+{
+    clio_assert(offload != nullptr, "deploying a null offload");
+    OffloadEntry &entry = entries_[desc.id];
+    entry.desc = std::move(desc);
+    entry.offload = std::move(offload);
+    entry.pid = pid;
+    entry.stats = OffloadStats{};
+}
+
+OffloadEntry *
+OffloadRegistry::find(std::uint32_t id)
+{
+    auto it = entries_.find(id);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+const OffloadEntry *
+OffloadRegistry::find(std::uint32_t id) const
+{
+    auto it = entries_.find(id);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<OffloadDescriptor>
+OffloadRegistry::descriptors() const
+{
+    std::vector<OffloadDescriptor> descs;
+    descs.reserve(entries_.size());
+    for (const auto &[id, entry] : entries_)
+        descs.push_back(entry.desc);
+    return descs;
+}
+
+} // namespace clio

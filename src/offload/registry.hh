@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Typed offload registry (extend path, §4.6).
+ *
+ * Deploying an offload on a CBoard registers it here under its
+ * dispatch id together with its OffloadDescriptor and the global PID
+ * whose RAS its VM accesses run in. The registry owns the id -> entry
+ * map the runtime dispatches rcalls through, assigns fresh PIDs from a
+ * reserved range for offloads that bring their own address space, and
+ * keeps per-offload runtime statistics (calls, errors, busy time, cost
+ * split) for the Fig. 21/22 accounting.
+ *
+ * Entries live in a std::map so iteration — restart re-initialization,
+ * stats dumps, Fig. 22 rows — is in sorted id order, independent of
+ * registration order hashing: a determinism requirement.
+ */
+
+#ifndef CLIO_OFFLOAD_REGISTRY_HH
+#define CLIO_OFFLOAD_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "offload/descriptor.hh"
+#include "offload/offload.hh"
+#include "sim/types.hh"
+
+namespace clio {
+
+/** Per-offload runtime counters (accumulated across restarts). */
+struct OffloadStats
+{
+    std::uint64_t calls = 0;        ///< single invocations dispatched
+    std::uint64_t chain_stages = 0; ///< invocations as a chain stage
+    std::uint64_t errors = 0;       ///< invocations with status != kOk
+    /** Modeled device time, attributed per component. */
+    OffloadCost cost;
+};
+
+/** One deployed offload. */
+struct OffloadEntry
+{
+    OffloadDescriptor desc;
+    std::shared_ptr<Offload> offload;
+    /** PID whose RAS invocations run in (own or shared with a CN
+     * process, like Clio-DF's operators). */
+    ProcId pid = 0;
+    OffloadStats stats;
+};
+
+/** Id -> deployed offload map of one CBoard. */
+class OffloadRegistry
+{
+  public:
+    /** First PID of the range reserved for offload address spaces. */
+    static constexpr ProcId kOffloadPidBase = 0xF0000000;
+
+    /** Deploy `offload` in its own fresh address space. Returns the
+     * assigned PID. Re-registering an id replaces the entry (stats
+     * reset). */
+    ProcId deploy(OffloadDescriptor desc, std::shared_ptr<Offload> offload);
+
+    /** Deploy `offload` sharing an existing address space `pid`. */
+    void deployShared(OffloadDescriptor desc, std::shared_ptr<Offload> offload,
+                      ProcId pid);
+
+    /** Deployed entry for `id`, or nullptr. */
+    OffloadEntry *find(std::uint32_t id);
+    const OffloadEntry *find(std::uint32_t id) const;
+
+    /** Deployed entries in sorted id order (deterministic). */
+    const std::map<std::uint32_t, OffloadEntry> &entries() const
+    {
+        return entries_;
+    }
+    std::map<std::uint32_t, OffloadEntry> &entries() { return entries_; }
+
+    /** Descriptors of every deployed offload, sorted by id (Fig. 22
+     * resource rows, bench JSON). */
+    std::vector<OffloadDescriptor> descriptors() const;
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    std::map<std::uint32_t, OffloadEntry> entries_;
+    ProcId next_pid_ = kOffloadPidBase;
+};
+
+} // namespace clio
+
+#endif // CLIO_OFFLOAD_REGISTRY_HH

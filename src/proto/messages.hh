@@ -78,6 +78,50 @@ to_string(Status status)
  * hot header free of <ostream>). */
 std::ostream &operator<<(std::ostream &os, Status status);
 
+/** Sentinel for OffloadChainBind::src_stage: the immediately
+ * preceding stage of the chain. */
+constexpr std::uint32_t kOffloadPrevStage = 0xFFFFFFFFu;
+
+/**
+ * One dataflow edge of a chained offload plan: copy bytes from an
+ * earlier stage's reply into this stage's argument before it runs,
+ * entirely on the MN (no CN round trip between stages, §4.6).
+ */
+struct OffloadChainBind
+{
+    /** Reply to read from: an explicit earlier stage index, or
+     * kOffloadPrevStage for the immediately preceding stage. */
+    std::uint32_t src_stage = kOffloadPrevStage;
+    /** Bind the stage's 8-byte value register instead of its data
+     * payload (src_offset then indexes into those 8 bytes). */
+    bool from_value = false;
+    std::uint32_t src_offset = 0; ///< offset into the source reply
+    std::uint32_t dst_offset = 0; ///< offset into this stage's arg
+    std::uint32_t len = 8;        ///< bytes copied
+};
+
+/** One stage of a chained offload plan. */
+struct OffloadChainStage
+{
+    std::uint32_t offload_id = 0;
+    /** Argument template; binds patch it before dispatch. */
+    std::vector<std::uint8_t> arg;
+    std::vector<OffloadChainBind> binds;
+    /** Terminate the chain successfully after this stage when its
+     * reply value is 0 (pointer-chase miss semantics). */
+    bool stop_on_zero_value = false;
+};
+
+/** Reply of one chain stage (per-stage reply mode). */
+struct OffloadStageReply
+{
+    Status status = Status::kOk;
+    /** Offload-defined error code (see offload/errc.hh). */
+    std::uint32_t err_code = 0;
+    std::uint64_t value = 0;
+    std::vector<std::uint8_t> data;
+};
+
 /** One Clio request (CN -> MN). */
 struct RequestMsg : Message
 {
@@ -113,9 +157,15 @@ struct RequestMsg : Message
      * Fig. 12's Clio-Alloc-Phys series). */
     bool populate = false;
 
-    /** @{ Extend-path offload invocation (kOffload). */
+    /** @{ Extend-path offload invocation (kOffload). A non-empty
+     * `chain` makes this a chained call: the stages execute back to
+     * back on the MN (offload_id/offload_arg are then unused). */
     std::uint32_t offload_id = 0;
     std::vector<std::uint8_t> offload_arg;
+    std::vector<OffloadChainStage> chain;
+    /** Chained call: return every stage's reply (ResponseMsg::stages)
+     * instead of the final stage's only. */
+    bool chain_per_stage = false;
     /** @} */
 
     /** Optional per-request retry-timeout override (0 = use the
@@ -150,6 +200,8 @@ struct RequestMsg : Message
         populate = false;
         offload_id = 0;
         offload_arg.clear();
+        chain.clear();
+        chain_per_stage = false;
         timeout_override = 0;
         epoch = 0;
     }
@@ -160,10 +212,17 @@ struct ResponseMsg : Message
 {
     ReqId req_id = 0;
     Status status = Status::kOk;
-    /** Read data / offload result payload. */
+    /** Read data / offload result payload; offload failures carry the
+     * error message bytes here. */
     std::vector<std::uint8_t> data;
     /** Scalar result: allocated VA, atomic's old value, etc. */
     std::uint64_t value = 0;
+    /** Offload-defined error code (see offload/errc.hh); 0 unless a
+     * kOffload request failed at the extend path. */
+    std::uint32_t err_code = 0;
+    /** Per-stage replies of a chained offload call (only filled when
+     * the request asked for chain_per_stage). */
+    std::vector<OffloadStageReply> stages;
 
     /** Restore default-constructed field values, keeping the payload
      * vector's capacity (MessagePool reuse). */
@@ -174,6 +233,8 @@ struct ResponseMsg : Message
         status = Status::kOk;
         data.clear();
         value = 0;
+        err_code = 0;
+        stages.clear();
     }
 };
 
@@ -235,29 +296,51 @@ class MessagePool
     std::size_t cursor_ = 0;
 };
 
+/** Payload bytes a request carries on the wire (what the MTU split
+ * slices): write data, offload argument bytes, or — for a chained
+ * call — every stage's argument plus per-stage/bind descriptors. */
+inline std::uint64_t
+requestPayloadBytes(const RequestMsg &req)
+{
+    switch (req.type) {
+      case MsgType::kWrite:
+        return req.size;
+      case MsgType::kOffload: {
+        std::uint64_t payload = req.offload_arg.size();
+        for (const OffloadChainStage &stage : req.chain) {
+            payload += stage.arg.size() + 16; // stage descriptor
+            payload += stage.binds.size() * 16;
+        }
+        return payload;
+      }
+      default:
+        return 0;
+    }
+}
+
 /** Wire size of a request (headers + inline payload). */
 inline std::uint64_t
 requestWireBytes(const RequestMsg &req)
 {
-    std::uint64_t payload = 0;
-    switch (req.type) {
-      case MsgType::kWrite:
-        payload = req.size;
-        break;
-      case MsgType::kOffload:
-        payload = req.offload_arg.size();
-        break;
-      default:
-        payload = 0;
-    }
-    return payload + 40; // fixed Clio request descriptor
+    return requestPayloadBytes(req) + 40; // fixed Clio request descriptor
+}
+
+/** Payload bytes a response carries on the wire (read data / offload
+ * result payload + per-stage replies of a chained call). */
+inline std::uint64_t
+responsePayloadBytes(const ResponseMsg &resp)
+{
+    std::uint64_t payload = resp.data.size();
+    for (const OffloadStageReply &stage : resp.stages)
+        payload += stage.data.size() + 16; // stage reply descriptor
+    return payload;
 }
 
 /** Wire size of a response (headers + payload). */
 inline std::uint64_t
 responseWireBytes(const ResponseMsg &resp)
 {
-    return resp.data.size() + 24; // fixed Clio response descriptor
+    return responsePayloadBytes(resp) + 24; // fixed Clio response descriptor
 }
 
 } // namespace clio

@@ -283,6 +283,21 @@ struct BaselineConfig
     Tick clover_cn_overhead = 300 * kNanosecond;
 };
 
+/** Extend-path offload runtime (§4.6): engine count, chain limits,
+ * dispatch overhead. */
+struct OffloadConfig
+{
+    /** Replicated offload engines the scheduler arbitrates; each
+     * invocation (or whole chained plan) occupies one engine for its
+     * modeled duration. Overridable via CLIO_OFFLOAD_ENGINES. */
+    std::uint32_t engines = 2;
+    /** Max stages a chained plan may carry (kChainTooDeep beyond). */
+    std::uint32_t max_chain_depth = 16;
+    /** Fast-path cycles to decode + dispatch one invocation or chain
+     * stage (MAT match, descriptor fetch, arg staging). */
+    std::uint32_t dispatch_cycles = 8;
+};
+
 /** Node-level power draw for the energy model (Fig. 21, §7.3). */
 struct EnergyConfig
 {
@@ -298,6 +313,9 @@ struct EnergyConfig
     double passive_mn_watts = 40.0;
     /** Per-active-core fraction attribution for CN-side accounting. */
     double cn_core_fraction = 0.5;
+    /** Marginal draw of one busy offload engine (synthesized logic
+     * active on the FPGA fabric), attributed per engine-busy time. */
+    double offload_engine_watts = 1.5;
 };
 
 /** Distributed-MN management, §4.7. */
@@ -319,6 +337,7 @@ struct ModelConfig
     SlowPathConfig slow_path;
     PageTableConfig page_table;
     DedupConfig dedup;
+    OffloadConfig offload;
     RdmaConfig rdma;
     BaselineConfig baselines;
     EnergyConfig energy;

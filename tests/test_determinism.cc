@@ -12,8 +12,10 @@
 #include <cstdlib>
 #include <vector>
 
+#include "apps/kv_store.hh"
 #include "chaos/fault_plan.hh"
 #include "cluster/cluster.hh"
+#include "offload/chain.hh"
 #include "sim/rng.hh"
 
 namespace clio {
@@ -28,6 +30,10 @@ struct RunResult
     std::uint64_t page_faults = 0;
     Tick end_time = 0;
     std::vector<Tick> latencies;
+    /** Offload-engine occupancy (chained-offload workload): pins the
+     * scheduler's arbitration order in the byte-compare. */
+    Tick engine_busy = 0;
+    Tick engine_wait = 0;
 };
 
 RunResult
@@ -94,13 +100,16 @@ dumpStats(const char *tag, std::uint64_t seed, const RunResult &r)
         data_hash = (data_hash ^ b) * 1099511628211ull;
     std::fprintf(f,
                  "%s seed=%llu data=%016llx retries=%llu nacks=%llu "
-                 "reordered=%llu faults=%llu end=%llu",
+                 "reordered=%llu faults=%llu end=%llu busy=%llu "
+                 "wait=%llu",
                  tag, (unsigned long long)seed,
                  (unsigned long long)data_hash,
                  (unsigned long long)r.retries, (unsigned long long)r.nacks,
                  (unsigned long long)r.reordered,
                  (unsigned long long)r.page_faults,
-                 (unsigned long long)r.end_time);
+                 (unsigned long long)r.end_time,
+                 (unsigned long long)r.engine_busy,
+                 (unsigned long long)r.engine_wait);
     for (Tick t : r.latencies)
         std::fprintf(f, " %llu", (unsigned long long)t);
     std::fprintf(f, "\n");
@@ -303,6 +312,106 @@ TEST(Determinism, ChaosIdenticalSeedsIdenticalRuns)
               std::vector<std::uint8_t>(r1.final_data.size(),
                                         std::uint8_t{0}));
     EXPECT_GT(r1.reordered, 0u);
+}
+
+/**
+ * Chained-offload variant: Clio-KV deployed through the typed
+ * registry, concurrent chained multi-get plans racing for the two
+ * offload engines. The engine scheduler's busy/wait tick totals go
+ * into the compare, so arbitration order itself is pinned across runs
+ * and across both event-queue engines. No packet faults here: the
+ * chaos workloads cover retries, and a clean network keeps the
+ * congestion window open so the chains genuinely overlap and the
+ * arbiter has queueing to decide every round.
+ */
+RunResult
+runChainedOffloadWorkload(std::uint64_t seed, EventQueueImpl impl)
+{
+    auto cfg = ModelConfig::prototype();
+    cfg.seed = seed;
+    cfg.event_queue_impl = impl;
+    cfg.offload.engines = 2;
+    Cluster cluster(cfg, 1, 1);
+    ClioClient &client = cluster.createClient(0);
+    const NodeId mn = cluster.mn(0).nodeId();
+    cluster.mn(0).registerOffload(ClioKvOffload::descriptor(1),
+                                  std::make_shared<ClioKvOffload>(256));
+
+    Rng rng(seed * 11 + 7);
+    RunResult out;
+    ClioKvClient kv(client, {mn}, 1);
+    for (int i = 0; i < 40; i++) {
+        const std::string key = "key-" + std::to_string(i);
+        kv.put(key, key + "=" + std::to_string(rng.next() % 1000));
+    }
+    for (int round = 0; round < 25; round++) {
+        // Four chained lookup plans in flight at once: more chains
+        // than engines, so the arbiter has real queueing to decide.
+        const Tick t0 = cluster.eventQueue().now();
+        std::vector<HandlePtr> handles;
+        for (int c = 0; c < 4; c++) {
+            ChainPlan plan;
+            for (int s = 0; s < 3; s++) {
+                const auto pick = rng.uniformInt(50); // some misses
+                plan.stage(1, kvEncode(KvOp::kGet,
+                                       "key-" + std::to_string(pick)));
+            }
+            plan.perStageReplies();
+            handles.push_back(client.rcallChainAsync(mn, plan, 4096));
+        }
+        client.rpoll(handles);
+        out.latencies.push_back(cluster.eventQueue().now() - t0);
+        for (const HandlePtr &h : handles) {
+            out.final_data.push_back(static_cast<std::uint8_t>(h->status));
+            for (const OffloadStageReply &stage : h->stages)
+                out.final_data.push_back(
+                    static_cast<std::uint8_t>(stage.value));
+        }
+    }
+    out.retries = cluster.cn(0).stats().retries;
+    out.nacks = cluster.cn(0).stats().nacks;
+    out.reordered = cluster.network().stats().reordered;
+    out.page_faults = cluster.mn(0).stats().page_faults;
+    const EngineSchedulerStats &es =
+        cluster.mn(0).offloadRuntime().scheduler().stats();
+    out.engine_busy = es.busy_ticks;
+    out.engine_wait = es.wait_ticks;
+    out.end_time = cluster.eventQueue().now();
+    return out;
+}
+
+TEST(Determinism, ChainedOffloadIdenticalSeedsIdenticalRuns)
+{
+    const std::uint64_t seed = defaultSeed(99);
+    const RunResult r1 =
+        runChainedOffloadWorkload(seed, EventQueueImpl::kDefault);
+    const RunResult r2 =
+        runChainedOffloadWorkload(seed, EventQueueImpl::kDefault);
+    dumpStats("chains", seed, r1);
+    EXPECT_EQ(r1.final_data, r2.final_data);
+    EXPECT_EQ(r1.retries, r2.retries);
+    EXPECT_EQ(r1.engine_busy, r2.engine_busy);
+    EXPECT_EQ(r1.engine_wait, r2.engine_wait);
+    EXPECT_EQ(r1.end_time, r2.end_time);
+    EXPECT_EQ(r1.latencies, r2.latencies);
+    // The workload exercised real contention: engines actually queued.
+    EXPECT_GT(r1.engine_busy, 0u);
+    EXPECT_GT(r1.engine_wait, 0u);
+}
+
+TEST(Determinism, ChainedOffloadWheelHeapIdentical)
+{
+    const std::uint64_t seed = defaultSeed(99);
+    const RunResult wheel =
+        runChainedOffloadWorkload(seed, EventQueueImpl::kTimingWheel);
+    const RunResult heap =
+        runChainedOffloadWorkload(seed, EventQueueImpl::kBinaryHeap);
+    EXPECT_EQ(wheel.final_data, heap.final_data);
+    EXPECT_EQ(wheel.retries, heap.retries);
+    EXPECT_EQ(wheel.engine_busy, heap.engine_busy);
+    EXPECT_EQ(wheel.engine_wait, heap.engine_wait);
+    EXPECT_EQ(wheel.end_time, heap.end_time);
+    EXPECT_EQ(wheel.latencies, heap.latencies);
 }
 
 TEST(Determinism, ChaosWheelHeapIdentical)

@@ -150,5 +150,39 @@ TEST(Resources, ComparisonRowsQuotePublishedNumbers)
     EXPECT_LT(clio_total.bram_pct, tonic.bram_pct);
 }
 
+TEST(Resources, OffloadRowsScaleLutPerEngineBramShared)
+{
+    OffloadDescriptor a = defaultOffloadDescriptor(1);
+    a.name = "chase";
+    a.lut = 5000.0;
+    a.bram_bytes = 2048.0;
+    OffloadDescriptor b = defaultOffloadDescriptor(2);
+    b.name = "kv";
+    b.lut = 10000.0;
+    b.bram_bytes = 4096.0;
+    const FpgaDevice dev;
+    const auto one = offloadUtilization({a, b}, 1, dev);
+    const auto two = offloadUtilization({a, b}, 2, dev);
+    // Compute logic is replicated per engine...
+    EXPECT_DOUBLE_EQ(rowNamed(two, "chase").lut_pct,
+                     2.0 * rowNamed(one, "chase").lut_pct);
+    // ...staging memory is shared across engines.
+    EXPECT_DOUBLE_EQ(rowNamed(two, "kv").bram_pct,
+                     rowNamed(one, "kv").bram_pct);
+    const auto &total = rowNamed(two, "Offloads (Total)");
+    EXPECT_DOUBLE_EQ(total.lut_pct,
+                     rowNamed(two, "chase").lut_pct +
+                         rowNamed(two, "kv").lut_pct);
+}
+
+TEST(Energy, OffloadEnergyTracksEngineBusyTime)
+{
+    EnergyConfig cfg;
+    // 1 ms of engine occupancy at offload_engine_watts.
+    const double mj = offloadEnergyMj(cfg, kMillisecond);
+    EXPECT_DOUBLE_EQ(mj, cfg.offload_engine_watts * 1e-3 * 1e3);
+    EXPECT_GT(offloadEnergyMj(cfg, 2 * kMillisecond), mj);
+}
+
 } // namespace
 } // namespace clio
